@@ -1,0 +1,79 @@
+// Ablation A3: what verification buys.
+//
+// Four mechanisms on the same system — the paper's verified
+// compensation-and-bonus, VCG (truthful in bids, blind to execution),
+// Archer–Tardos (same blindness, different payment form) and the classical
+// no-payment protocol — evaluated on:
+//   1. audit: the largest utility gain any unilateral deviation gives an
+//      agent (~0 => empirically truthful);
+//   2. slack accounting: agent C1 bids the truth but executes 2x slower.
+//      A structural identity (proved in EXPERIMENTS.md) makes the verified
+//      mechanism's payment *to the slacker itself* equal the Clarke
+//      payment, so the discriminating observable is the payment to a
+//      *bystander*: the verified mechanism re-anchors everyone's bonus to
+//      the measured latency, while the unverified mechanisms keep paying
+//      the bid-predicted amount — overpaying the bystander relative to its
+//      actual (verified) marginal contribution.
+
+#include <cstdio>
+#include <vector>
+
+#include "lbmv/analysis/paper_config.h"
+#include "lbmv/core/archer_tardos.h"
+#include "lbmv/core/audit.h"
+#include "lbmv/core/comp_bonus.h"
+#include "lbmv/core/no_payment.h"
+#include "lbmv/core/vcg.h"
+#include "lbmv/util/table.h"
+
+int main() {
+  using lbmv::util::Table;
+  using namespace lbmv;
+
+  const model::SystemConfig config({1.0, 1.0, 2.0, 5.0, 10.0}, 12.0);
+  const core::CompBonusMechanism comp_bonus;
+  const core::VcgMechanism vcg;
+  const core::ArcherTardosMechanism archer_tardos;
+  const core::NoPaymentMechanism no_payment;
+  const std::vector<const core::Mechanism*> mechanisms{
+      &comp_bonus, &vcg, &archer_tardos, &no_payment};
+
+  // Slack scenario: agent 0 bids the truth but executes 2x slower; agent 1
+  // (same speed, fully honest) is the bystander we track.
+  const auto honest = model::BidProfile::truthful(config);
+  const auto slack = model::BidProfile::deviate(config, 0, 1.0, 2.0);
+  const std::size_t bystander = 1;
+
+  Table table({"Mechanism", "Verif.", "Audit max gain", "P1 honest",
+               "P1 slack", "Bystander overpayment"});
+  for (const auto* mechanism : mechanisms) {
+    const core::TruthfulnessAuditor auditor(*mechanism);
+    const auto report = auditor.audit_agent(config, 0);
+    const auto h = mechanism->run(config, honest);
+    const auto s = mechanism->run(config, slack);
+    // Correct transfer to the bystander at observed behaviour: its verified
+    // cost plus its actual marginal contribution L_{-j} - L_measured.
+    const double l_minus_j = mechanism->allocator().optimal_latency(
+        config.family(), slack.without(bystander).bids,
+        config.arrival_rate());
+    const double correct = -s.agents[bystander].valuation +
+                           (l_minus_j - s.actual_latency);
+    table.add_row({mechanism->name(),
+                   mechanism->uses_verification() ? "yes" : "no",
+                   Table::num(report.max_gain, 4),
+                   Table::num(h.agents[bystander].payment),
+                   Table::num(s.agents[bystander].payment),
+                   Table::num(s.agents[bystander].payment - correct)});
+  }
+  std::printf(
+      "Ablation A3: the value of verification\n"
+      "(C1 slacks 2x; C2 is an equally fast, fully honest bystander)\n%s\n",
+      table.to_markdown().c_str());
+  std::printf(
+      "Reading: only no-payment fails the audit outright (positive gain).\n"
+      "Under C1's slack, the verified mechanism keeps the bystander's\n"
+      "payment anchored to measured behaviour (overpayment 0); VCG and\n"
+      "Archer-Tardos keep paying the honest-execution amount and overpay\n"
+      "the bystander relative to its actual contribution.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Bench A12: coalition manipulability.
+//
+// Theorem 3.1 is a *unilateral* guarantee.  Like VCG, the compensation-and-
+// bonus mechanism is not coalition-proof: agent B can inflate its bid to
+// blow up agent A's leave-one-out counterfactual L_{-A}(b_{-A}) (which
+// contains B's bid), raising A's bonus by more than the coalition loses
+// elsewhere — a strictly positive joint gain that transferable utility lets
+// them split.  This bench quantifies the best pairwise gain on the paper's
+// system and shows which pairs collude best.
+
+#include <cstdio>
+#include <sstream>
+
+#include "lbmv/analysis/paper_config.h"
+#include "lbmv/core/audit.h"
+#include "lbmv/core/comp_bonus.h"
+#include "lbmv/util/table.h"
+
+int main() {
+  using lbmv::util::Table;
+  using namespace lbmv;
+
+  const auto config = analysis::paper_table1_config();
+  const core::CompBonusMechanism mechanism;
+  const core::CoalitionAuditor auditor(mechanism);
+
+  core::AuditOptions options;
+  options.bid_multipliers = {0.5, 0.75, 1.0, 1.5, 2.0, 4.0, 8.0};
+  options.exec_multipliers = {1.0, 1.5, 2.0};
+
+  // Representative pairs: within and across speed groups of Table 1.
+  struct Pair {
+    std::size_t a, b;
+    const char* label;
+  };
+  const Pair pairs[] = {
+      {0, 1, "C1+C2   (fast + fast)"},
+      {0, 2, "C1+C3   (fast + medium)"},
+      {0, 10, "C1+C11  (fast + slow)"},
+      {2, 3, "C3+C4   (medium + medium)"},
+      {10, 11, "C11+C12 (slow + slow)"},
+  };
+
+  Table table({"Pair", "Joint truthful U", "Best joint U", "Gain",
+               "Best joint deviation"});
+  for (const auto& pair : pairs) {
+    const auto report = auditor.audit_pair(config, pair.a, pair.b, options);
+    std::ostringstream deviation;
+    deviation << "A: bid x" << report.best.bid_mult_a << " exec x"
+              << report.best.exec_mult_a << "; B: bid x"
+              << report.best.bid_mult_b << " exec x"
+              << report.best.exec_mult_b;
+    table.add_row({pair.label, Table::num(report.truthful_joint_utility, 3),
+                   Table::num(report.best.joint_utility, 3),
+                   Table::num(report.max_joint_gain, 3), deviation.str()});
+  }
+  std::printf(
+      "Bench A12: pairwise coalition audit (Table 1 system, R = 20)\n%s\n",
+      table.to_markdown().c_str());
+  std::printf(
+      "Positive gains confirm the mechanism is not coalition-proof — the\n"
+      "standard limitation of marginal-contribution payments (VCG shares\n"
+      "it).  The winning pattern: one partner inflates its bid, which\n"
+      "inflates the *other* partner's leave-one-out counterfactual and\n"
+      "hence its bonus.  Execution multipliers stay at 1 in every best\n"
+      "deviation: verification closes the execution channel even for\n"
+      "coalitions.\n");
+  return 0;
+}

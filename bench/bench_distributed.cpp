@@ -1,0 +1,57 @@
+// Extension bench (paper "future work"): distributed handling of payments
+// and agent privacy.
+//
+// Four deployments of the mechanism — the paper's centralised star, a
+// fully redundant broadcast, an O(n)-message tree aggregation, and a
+// privacy-preserving variant using additive secret sharing — all compute
+// identical payments; this bench maps their message / bandwidth / latency
+// trade-offs as the system grows.
+
+#include <cstdio>
+#include <vector>
+
+#include "lbmv/dist/protocols.h"
+#include "lbmv/model/bids.h"
+#include "lbmv/util/table.h"
+
+int main() {
+  using lbmv::util::Table;
+  using namespace lbmv;
+  using dist::Topology;
+
+  const Topology all[] = {Topology::kStar, Topology::kBroadcast,
+                          Topology::kTree, Topology::kPrivate};
+
+  std::printf(
+      "Distributed deployments of the verified mechanism (future work of\n"
+      "the paper).  All four produce bit-identical payments to the\n"
+      "centralised mechanism (private: up to 1e-9 fixed-point quantisation);\n"
+      "they differ in trust and cost:\n\n");
+
+  for (std::size_t n : {4, 16, 64, 256}) {
+    const model::SystemConfig config(std::vector<double>(n, 1.0), 20.0);
+    const auto intents = model::BidProfile::truthful(config);
+    Table table({"Protocol", "Messages", "Doubles sent", "Protocol time (s)",
+                 "Trust / privacy"});
+    const char* notes[] = {
+        "trusted coordinator sees all bids",
+        "no coordinator; everyone audits all payments",
+        "no coordinator; O(n) msgs, O(log n) depth",
+        "no party ever sees another agent's bid or cost",
+    };
+    std::size_t k = 0;
+    for (Topology topology : all) {
+      const auto report =
+          dist::run_distributed_round(topology, config, intents);
+      table.add_row({report.protocol, std::to_string(report.messages),
+                     std::to_string(report.doubles_transferred),
+                     Table::num(report.completion_time, 3), notes[k++]});
+    }
+    std::printf("n = %zu computers:\n%s\n", n, table.to_markdown().c_str());
+  }
+  std::printf(
+      "Caveat on privacy: the private protocol hides *declarations*; once\n"
+      "jobs flow, relative speeds are observable from the allocation\n"
+      "itself, an inherent property of the mechanism, not of the protocol.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Extension bench A9: multi-epoch operation with drifting speeds.
+//
+// The mechanism re-runs every epoch while machine speeds follow a random
+// walk.  Agents whose speed *measurements* are stale bid outdated values —
+// unintentional misreporting.  We sweep the reporting lag and the drift
+// rate and chart how system efficiency (optimal / achieved latency) decays,
+// plus what staleness costs the stale agent itself.
+
+#include <cstdio>
+#include <vector>
+
+#include "lbmv/core/comp_bonus.h"
+#include "lbmv/sim/epochs.h"
+#include "lbmv/util/table.h"
+
+int main() {
+  using lbmv::util::Table;
+  using namespace lbmv;
+
+  const model::SystemConfig config({1.0, 1.0, 2.0, 5.0, 8.0}, 15.0);
+  const core::CompBonusMechanism mechanism;
+
+  std::printf(
+      "Extension A9: epochs under drift (5 machines, R = 15, 60 epochs)\n\n");
+
+  Table sweep({"Drift sigma", "Lag 0", "Lag 1", "Lag 2", "Lag 4"});
+  for (double sigma : {0.05, 0.1, 0.2, 0.4}) {
+    std::vector<std::string> row{Table::num(sigma, 2)};
+    for (int lag : {0, 1, 2, 4}) {
+      sim::EpochOptions options;
+      options.epochs = 60;
+      options.drift_sigma = sigma;
+      options.bid_lags.assign(config.size(), lag);
+      const auto report = run_epochs(mechanism, config, options);
+      row.push_back(Table::num(report.mean_efficiency, 4));
+    }
+    sweep.add_row(row);
+  }
+  std::printf("mean efficiency (optimal/achieved) by drift and bid lag:\n%s\n",
+              sweep.to_markdown().c_str());
+
+  // What staleness costs the stale agent: same drift path, one agent lags.
+  Table cost({"Lag of C1", "C1 cumulative utility", "vs fresh"});
+  double fresh_utility = 0.0;
+  for (int lag : {0, 1, 2, 4}) {
+    sim::EpochOptions options;
+    options.epochs = 60;
+    options.drift_sigma = 0.25;
+    options.bid_lags.assign(config.size(), 0);
+    options.bid_lags[0] = lag;
+    const auto report = run_epochs(mechanism, config, options);
+    const double utility = report.cumulative_utility[0];
+    if (lag == 0) fresh_utility = utility;
+    cost.add_row({std::to_string(lag), Table::num(utility, 2),
+                  Table::pct(utility / fresh_utility - 1.0)});
+  }
+  std::printf("staleness is self-punishing under the mechanism:\n%s\n",
+              cost.to_markdown().c_str());
+  std::printf(
+      "Fresh bids keep every epoch exactly optimal regardless of drift;\n"
+      "stale measurements act like unintentional lies, cost the system\n"
+      "efficiency, and cost the stale agent utility — the incentive to\n"
+      "keep measurements current is built into the payments.\n");
+  return 0;
+}

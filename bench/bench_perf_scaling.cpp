@@ -1,0 +1,129 @@
+// Ablation A2: computational cost of the mechanism (google-benchmark).
+//
+// The paper's protocol is centralised with O(n) messages; the computational
+// bottleneck is the payment rule, which evaluates n leave-one-out optima
+// (O(n^2) for the naive PR evaluation).  These microbenchmarks measure:
+//   * the PR closed-form allocation (O(n)),
+//   * the numeric convex allocator on the same instances,
+//   * full compensation-and-bonus payment computation,
+//   * a truthfulness audit grid, serial vs thread-pool parallel.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lbmv/alloc/convex_allocator.h"
+#include "lbmv/alloc/pr_allocator.h"
+#include "lbmv/core/audit.h"
+#include "lbmv/core/comp_bonus.h"
+#include "lbmv/dist/protocols.h"
+#include "lbmv/game/wardrop.h"
+#include "lbmv/model/bids.h"
+#include "lbmv/model/system_config.h"
+#include "lbmv/util/rng.h"
+
+namespace {
+
+std::vector<double> random_types(std::size_t n, std::uint64_t seed) {
+  lbmv::util::Rng rng(seed);
+  std::vector<double> t(n);
+  for (double& ti : t) {
+    ti = std::exp(rng.uniform(std::log(0.2), std::log(20.0)));
+  }
+  return t;
+}
+
+void BM_PrAllocate(benchmark::State& state) {
+  const auto types = random_types(static_cast<std::size_t>(state.range(0)),
+                                  42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lbmv::alloc::pr_allocate(types, 20.0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PrAllocate)->RangeMultiplier(4)->Range(4, 65536)->Complexity();
+
+void BM_ConvexAllocate(benchmark::State& state) {
+  const auto types = random_types(static_cast<std::size_t>(state.range(0)),
+                                  42);
+  const lbmv::model::LinearFamily family;
+  const lbmv::alloc::ConvexAllocator allocator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(allocator.allocate(family, types, 20.0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ConvexAllocate)->RangeMultiplier(4)->Range(4, 1024)->Complexity();
+
+void BM_CompBonusRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const lbmv::model::SystemConfig config(random_types(n, 7), 20.0);
+  const lbmv::core::CompBonusMechanism mechanism;
+  const auto profile = lbmv::model::BidProfile::truthful(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mechanism.run(config, profile));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CompBonusRound)->RangeMultiplier(4)->Range(4, 4096)->Complexity();
+
+void BM_WardropEquilibrium(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  lbmv::util::Rng rng(9);
+  std::vector<std::unique_ptr<lbmv::model::LatencyFunction>> links;
+  for (std::size_t i = 0; i < n; ++i) {
+    links.push_back(std::make_unique<lbmv::model::AffineLatency>(
+        rng.uniform(0.0, 3.0), rng.uniform(0.1, 2.0)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lbmv::game::wardrop_equilibrium(links, 20.0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_WardropEquilibrium)
+    ->RangeMultiplier(4)
+    ->Range(4, 1024)
+    ->Complexity();
+
+void BM_TreeDistributedRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const lbmv::model::SystemConfig config(random_types(n, 5), 20.0);
+  const auto intents = lbmv::model::BidProfile::truthful(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lbmv::dist::run_distributed_round(
+        lbmv::dist::Topology::kTree, config, intents));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TreeDistributedRound)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AuditSerial(benchmark::State& state) {
+  const lbmv::model::SystemConfig config(random_types(16, 3), 20.0);
+  const lbmv::core::CompBonusMechanism mechanism;
+  const lbmv::core::TruthfulnessAuditor auditor(mechanism);
+  lbmv::core::AuditOptions options;
+  options.parallel = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(auditor.audit_agent(config, 0, options));
+  }
+}
+BENCHMARK(BM_AuditSerial)->Unit(benchmark::kMillisecond);
+
+void BM_AuditParallel(benchmark::State& state) {
+  const lbmv::model::SystemConfig config(random_types(16, 3), 20.0);
+  const lbmv::core::CompBonusMechanism mechanism;
+  const lbmv::core::TruthfulnessAuditor auditor(mechanism);
+  lbmv::core::AuditOptions options;
+  options.parallel = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(auditor.audit_agent(config, 0, options));
+  }
+}
+BENCHMARK(BM_AuditParallel)->Unit(benchmark::kMillisecond);
+
+}  // namespace

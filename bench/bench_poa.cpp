@@ -1,0 +1,61 @@
+// Bench A13: price of anarchy on the paper's parallel-link topology.
+//
+// Connects the paper to the routing-game literature it cites ([1] Altman
+// et al., [19] Roughgarden): when *jobs* route selfishly instead of being
+// assigned, how much does the system lose?  Answer: nothing at all for the
+// paper's pure linear latencies (equal latency == equal marginal latency,
+// PoA = 1), up to the classic 4/3 as constant terms are mixed in.  So in
+// the paper's world the entire inefficiency to fight comes from computers
+// *misreporting*, not from decentralised routing — which is exactly the
+// problem the mechanism addresses.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "lbmv/game/wardrop.h"
+#include "lbmv/model/latency.h"
+#include "lbmv/util/table.h"
+
+int main() {
+  using lbmv::util::Table;
+  using namespace lbmv;
+
+  // Sweep the weight of the constant term: links l_i(x) = w * a_i + b_i x.
+  const std::vector<double> a{2.0, 1.0, 0.5, 0.25};
+  const std::vector<double> b{0.25, 0.5, 1.0, 2.0};
+  Table table({"Constant weight w", "Equilibrium L", "Optimal L", "PoA"});
+  for (double w : {0.0, 0.1, 0.5, 1.0, 2.0, 5.0, 20.0}) {
+    std::vector<std::unique_ptr<model::LatencyFunction>> links;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (w == 0.0) {
+        links.push_back(std::make_unique<model::LinearLatency>(b[i]));
+      } else {
+        links.push_back(
+            std::make_unique<model::AffineLatency>(w * a[i], b[i]));
+      }
+    }
+    const auto poa = game::price_of_anarchy(links, 6.0);
+    table.add_row({Table::num(w, 1), Table::num(poa.equilibrium_latency, 4),
+                   Table::num(poa.optimal_latency, 4),
+                   Table::num(poa.price_of_anarchy(), 4)});
+  }
+  std::printf(
+      "Bench A13: price of anarchy vs constant-latency weight (4 links, "
+      "R = 6)\n%s\n",
+      table.to_markdown().c_str());
+
+  // The Pigou construction: worst case for affine links.
+  std::vector<std::unique_ptr<model::LatencyFunction>> pigou;
+  pigou.push_back(std::make_unique<model::AffineLatency>(1.0, 1e-6));
+  pigou.push_back(std::make_unique<model::LinearLatency>(1.0));
+  const auto worst = game::price_of_anarchy(pigou, 1.0);
+  std::printf("Pigou example: PoA = %.4f (theory: 4/3 = 1.3333)\n\n",
+              worst.price_of_anarchy());
+  std::printf(
+      "w = 0 (the paper's pure linear model) gives PoA = 1: selfish job\n"
+      "routing is harmless there, so the mechanism's whole battle is\n"
+      "against misreported speeds — and the affine rows show how quickly\n"
+      "that changes once latencies have fixed components.\n");
+  return 0;
+}

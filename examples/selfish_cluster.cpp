@@ -1,0 +1,100 @@
+// selfish_cluster: a cluster of selfish machines under three regimes.
+//
+// The scenario the paper's introduction motivates: computational resources
+// owned by self-interested organisations.  We run the same mixed population
+// (truthful machines, an overbidder, an underbidder, an execution slacker)
+// under (a) the classical no-payment protocol, (b) VCG without
+// verification, and (c) the paper's mechanism with verification, and report
+// what each agent earns and what the system loses.
+//
+//   ./selfish_cluster
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "lbmv/core/comp_bonus.h"
+#include "lbmv/core/no_payment.h"
+#include "lbmv/core/vcg.h"
+#include "lbmv/strategy/strategy.h"
+#include "lbmv/util/rng.h"
+
+int main() {
+  using namespace lbmv;
+
+  // Eight machines across three speed classes; R = 24 jobs/s.
+  const model::SystemConfig config({1.0, 1.0, 1.0, 2.0, 2.0, 4.0, 4.0, 4.0},
+                                   24.0);
+
+  strategy::TruthfulStrategy truthful;
+  strategy::ScalingStrategy overbidder(3.0, 3.0);   // claims 3x slower
+  strategy::ScalingStrategy underbidder(0.5, 1.0);  // claims 2x faster
+  strategy::SlackExecutionStrategy slacker(2.0);    // runs at half speed
+  const std::vector<const strategy::Strategy*> population{
+      &truthful, &overbidder, &underbidder, &slacker,
+      &truthful, &truthful,   &truthful,    &truthful};
+  const char* roles[] = {"truthful", "overbidder", "underbidder", "slacker",
+                         "truthful", "truthful",   "truthful",    "truthful"};
+
+  util::Rng rng(2026);
+  const model::BidProfile profile =
+      strategy::apply_strategies(config, population, rng);
+
+  const core::NoPaymentMechanism no_payment;
+  const core::VcgMechanism vcg;
+  const core::CompBonusMechanism verified;
+  const core::Mechanism* mechanisms[] = {&no_payment, &vcg, &verified};
+
+  const double optimal =
+      verified.run(config, model::BidProfile::truthful(config))
+          .actual_latency;
+  std::printf("optimal total latency (all truthful): %.3f\n\n", optimal);
+
+  for (const auto* mechanism : mechanisms) {
+    const auto outcome = mechanism->run(config, profile);
+    std::printf("=== %s%s ===\n", mechanism->name().c_str(),
+                mechanism->uses_verification() ? "  [with verification]"
+                                               : "");
+    std::printf("total latency: %.3f (+%.1f%% over optimal)\n",
+                outcome.actual_latency,
+                (outcome.actual_latency / optimal - 1.0) * 100.0);
+    std::printf("%-4s %-12s %10s %10s %10s\n", "", "role", "jobs/s",
+                "payment", "utility");
+    for (std::size_t i = 0; i < config.size(); ++i) {
+      const auto& a = outcome.agents[i];
+      std::printf("C%-3zu %-12s %10.3f %10.3f %10.3f\n", i + 1, roles[i],
+                  a.allocation, a.payment, a.utility);
+    }
+    std::printf("\n");
+  }
+
+  // The claim that matters is per-agent and counterfactual: would each
+  // deviator have done better by being truthful, holding everyone else's
+  // behaviour fixed?
+  std::printf(
+      "=== comp-bonus: deviators vs their truthful counterfactuals ===\n");
+  const auto achieved = verified.run(config, profile);
+  for (std::size_t i = 1; i <= 3; ++i) {  // the three deviators
+    model::BidProfile counterfactual = profile;
+    counterfactual.bids[i] = config.true_value(i);
+    counterfactual.executions[i] = config.true_value(i);
+    const auto honest = verified.run(config, counterfactual);
+    std::printf("C%zu (%s): achieved %8.3f, truthful %8.3f -> %s\n", i + 1,
+                roles[i], achieved.agents[i].utility,
+                honest.agents[i].utility,
+                achieved.agents[i].utility <= honest.agents[i].utility + 1e-9
+                    ? "lying did not pay"
+                    : "lying paid (inconsistent-opponent boundary case, "
+                      "see EXPERIMENTS.md)");
+  }
+
+  std::printf(
+      "\nReading the output: under no-payment, deviators profit (utility\n"
+      "closer to 0 than truthful peers).  Under VCG every payment is\n"
+      "computed from the bids alone, so the slacker's damage never enters\n"
+      "the books.  Under the verified mechanism all utilities are anchored\n"
+      "to the *measured* latency, and the counterfactual table shows the\n"
+      "incentive the paper proves: each deviator would have earned at\n"
+      "least as much by being truthful against the same opponents.\n");
+  return 0;
+}

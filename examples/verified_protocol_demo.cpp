@@ -1,0 +1,71 @@
+// verified_protocol_demo: one full round of the paper's protocol, with the
+// execution actually simulated and the execution values *estimated* from
+// observed completions instead of assumed known.
+//
+//   protocol:  collect bids -> allocate (PR) -> execute jobs (DES) ->
+//              estimate execution values -> pay (compensation + bonus)
+//
+//   ./verified_protocol_demo
+
+#include <cstdio>
+
+#include "lbmv/core/comp_bonus.h"
+#include "lbmv/model/bids.h"
+#include "lbmv/sim/protocol.h"
+
+int main() {
+  using namespace lbmv;
+
+  // Light-load types (the M/G/1 realisation of the linear latency model is
+  // a light-traffic approximation; see DESIGN.md).
+  const model::SystemConfig config({0.01, 0.01, 0.02, 0.04}, 5.0);
+
+  // C2 secretly executes 2x slower than its capacity; C3 overbids 1.5x but
+  // runs honestly at its bid.  C1 and C4 are truthful.
+  model::BidProfile intents = model::BidProfile::truthful(config);
+  intents.executions[1] = 0.02;  // slacker
+  intents.bids[2] = 0.03;        // overbidder
+  intents.executions[2] = 0.03;
+
+  core::CompBonusMechanism mechanism;
+  sim::ProtocolOptions options;
+  options.horizon = 40000.0;  // simulated seconds of execution
+  options.seed = 7;
+  sim::VerifiedProtocol protocol(mechanism, options);
+
+  const sim::RoundReport report = protocol.run_round(config, intents);
+
+  std::printf("protocol messages: %zu (= 3n, O(n) as the paper claims)\n",
+              report.messages);
+  std::printf("jobs executed: %zu over %.0f simulated seconds\n\n",
+              report.metrics.total_jobs(), options.horizon);
+
+  std::printf("%-4s %10s %12s %12s %12s %12s\n", "", "jobs/s", "true t",
+              "secret t~", "estimated", "payment");
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    std::printf("C%-3zu %10.3f %12.4f %12.4f %12.4f %12.4f\n", i + 1,
+                report.allocation[i], config.true_value(i),
+                intents.executions[i], report.estimated_execution[i],
+                report.outcome.agents[i].payment);
+  }
+
+  std::printf(
+      "\npayment error vs the paper's oracle (exact t~ known): \n");
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    const double est = report.outcome.agents[i].payment;
+    const double oracle = report.oracle_outcome.agents[i].payment;
+    std::printf("  C%zu: estimated %8.4f  oracle %8.4f  (diff %+.2f%%)\n",
+                i + 1, est, oracle, (est / oracle - 1.0) * 100.0);
+  }
+
+  std::printf(
+      "\nmeasured total latency %.4f vs analytic model %.4f\n",
+      report.metrics.measured_total_latency,
+      report.oracle_outcome.actual_latency);
+  std::printf(
+      "\nThe estimator exposes C2's slack (estimated ~2x its true value)\n"
+      "without being told; every bonus — and therefore every utility — is\n"
+      "then computed from the *measured* total latency rather than the\n"
+      "reported one, which is what 'mechanism with verification' means.\n");
+  return 0;
+}

@@ -1,0 +1,18 @@
+#include "lbmv/alloc/allocator.h"
+
+namespace lbmv::alloc {
+
+double Allocator::optimal_latency(const model::LatencyFamily& family,
+                                  std::span<const double> types,
+                                  double arrival_rate) const {
+  const model::Allocation x = allocate(family, types, arrival_rate);
+  const auto latencies = [&] {
+    std::vector<std::unique_ptr<model::LatencyFunction>> fns;
+    fns.reserve(types.size());
+    for (double t : types) fns.push_back(family.make(t));
+    return fns;
+  }();
+  return model::total_latency(x, latencies);
+}
+
+}  // namespace lbmv::alloc

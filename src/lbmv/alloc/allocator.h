@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file allocator.h
+/// Interface shared by all allocation solvers.
+///
+/// Mechanisms (lbmv/core) are written against this interface so the
+/// compensation-and-bonus construction works for any latency family with an
+/// exact-optimal allocator: the mechanism's truthfulness proof only needs
+/// the allocation rule to minimise total latency for the reported types.
+
+#include <span>
+#include <string>
+
+#include "lbmv/model/allocation.h"
+#include "lbmv/model/latency.h"
+
+namespace lbmv::alloc {
+
+/// An exact or numeric minimiser of total latency over feasible allocations.
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  /// Allocation minimising sum_i x_i * l_i(x_i) over x >= 0, sum x = R,
+  /// where l_i = family.make(types[i]).
+  [[nodiscard]] virtual model::Allocation allocate(
+      const model::LatencyFamily& family, std::span<const double> types,
+      double arrival_rate) const = 0;
+
+  /// Minimum total latency for the given types.  The default evaluates the
+  /// allocation; closed-form allocators override with the direct formula.
+  [[nodiscard]] virtual double optimal_latency(
+      const model::LatencyFamily& family, std::span<const double> types,
+      double arrival_rate) const;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace lbmv::alloc

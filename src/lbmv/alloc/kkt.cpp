@@ -1,0 +1,79 @@
+#include "lbmv/alloc/kkt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "lbmv/util/error.h"
+
+namespace lbmv::alloc {
+
+std::string KktReport::describe() const {
+  std::ostringstream os;
+  os << "kkt{positivity=" << (positivity_ok ? "ok" : "FAIL")
+     << ", conservation=" << (conservation_ok ? "ok" : "FAIL")
+     << " (err=" << conservation_error << ")"
+     << ", stationarity=" << (stationarity_ok ? "ok" : "FAIL")
+     << " (max viol=" << max_stationarity_violation << ")"
+     << ", lambda=" << lambda << "}";
+  return os.str();
+}
+
+KktReport check_kkt(
+    const model::Allocation& x,
+    std::span<const std::unique_ptr<model::LatencyFunction>> latencies,
+    double arrival_rate, double tol) {
+  LBMV_REQUIRE(x.size() == latencies.size(),
+               "allocation and latency vector must have equal size");
+  LBMV_REQUIRE(arrival_rate > 0.0, "arrival rate must be positive");
+  LBMV_REQUIRE(tol > 0.0, "tolerance must be positive");
+
+  KktReport report;
+  const std::size_t n = x.size();
+  const double idle_threshold =
+      tol * arrival_rate / static_cast<double>(std::max<std::size_t>(n, 1));
+
+  report.positivity_ok = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i] < -idle_threshold) report.positivity_ok = false;
+  }
+  report.conservation_error =
+      std::fabs(x.total_rate() - arrival_rate) /
+      std::max(1.0, std::fabs(arrival_rate));
+  report.conservation_ok = report.conservation_error <= tol;
+
+  // Estimate lambda as the mean marginal over the active set.
+  double lambda_sum = 0.0;
+  std::size_t actives = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i] > idle_threshold) {
+      lambda_sum += latencies[i]->marginal_cost(x[i]);
+      ++actives;
+    }
+  }
+  if (actives == 0) {
+    report.stationarity_ok = false;  // a feasible allocation has active mass
+    return report;
+  }
+  report.lambda = lambda_sum / static_cast<double>(actives);
+  const double scale = std::max(std::fabs(report.lambda), 1.0);
+
+  report.stationarity_ok = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    double violation = 0.0;
+    if (x[i] > idle_threshold) {
+      violation =
+          std::fabs(latencies[i]->marginal_cost(x[i]) - report.lambda) / scale;
+    } else {
+      // Idle computers must not want load: marginal at 0 >= lambda.
+      violation = std::max(
+          0.0, (report.lambda - latencies[i]->marginal_cost(0.0)) / scale);
+    }
+    report.max_stationarity_violation =
+        std::max(report.max_stationarity_violation, violation);
+  }
+  if (report.max_stationarity_violation > tol) report.stationarity_ok = false;
+  return report;
+}
+
+}  // namespace lbmv::alloc

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file kkt.h
+/// Independent Karush–Kuhn–Tucker certification of allocations.
+///
+/// The paper's Theorem 2.1 is proved through the Kuhn–Tucker conditions:
+/// an allocation is optimal iff there exists lambda with
+///   * c_i'(x_i) = lambda for every computer with x_i > 0, and
+///   * c_i'(0) >= lambda for every idle computer,
+/// together with feasibility.  check_kkt verifies these conditions for any
+/// allocation without re-running a solver, so tests can certify both the
+/// closed forms and the numeric solver against first principles.
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "lbmv/model/allocation.h"
+#include "lbmv/model/latency.h"
+
+namespace lbmv::alloc {
+
+/// Outcome of a KKT check.
+struct KktReport {
+  bool positivity_ok = false;     ///< x_i >= -tol
+  bool conservation_ok = false;   ///< |sum x_i - R| small
+  bool stationarity_ok = false;   ///< marginals equalised / dominated
+  double lambda = 0.0;            ///< estimated multiplier (mean active marginal)
+  double conservation_error = 0.0;
+  double max_stationarity_violation = 0.0;  ///< relative
+
+  [[nodiscard]] bool optimal() const {
+    return positivity_ok && conservation_ok && stationarity_ok;
+  }
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Check the KKT conditions of \p x for the curves \p latencies at total
+/// rate \p arrival_rate.  \p tol is a relative tolerance applied to each
+/// condition.  Computers with x_i below tol * R / n are treated as idle.
+[[nodiscard]] KktReport check_kkt(
+    const model::Allocation& x,
+    std::span<const std::unique_ptr<model::LatencyFunction>> latencies,
+    double arrival_rate, double tol = 1e-7);
+
+}  // namespace lbmv::alloc

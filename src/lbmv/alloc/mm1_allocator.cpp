@@ -1,0 +1,72 @@
+#include "lbmv/alloc/mm1_allocator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "lbmv/util/error.h"
+
+namespace lbmv::alloc {
+
+model::Allocation mm1_allocate(std::span<const double> mus,
+                               double arrival_rate) {
+  LBMV_REQUIRE(!mus.empty(), "need at least one computer");
+  LBMV_REQUIRE(arrival_rate > 0.0, "arrival rate must be positive");
+  double total_mu = 0.0;
+  for (double mu : mus) {
+    LBMV_REQUIRE(mu > 0.0, "service rates must be positive");
+    total_mu += mu;
+  }
+  LBMV_REQUIRE(arrival_rate < total_mu,
+               "arrival rate exceeds the total service capacity");
+
+  // Indices sorted by decreasing service rate; the active set is always a
+  // prefix of this order.
+  std::vector<std::size_t> order(mus.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return mus[a] > mus[b]; });
+
+  std::size_t active = order.size();
+  double c = 0.0;
+  for (;;) {
+    double sum_mu = 0.0;
+    double sum_sqrt = 0.0;
+    for (std::size_t k = 0; k < active; ++k) {
+      sum_mu += mus[order[k]];
+      sum_sqrt += std::sqrt(mus[order[k]]);
+    }
+    c = (sum_mu - arrival_rate) / sum_sqrt;
+    LBMV_ASSERT(c > 0.0, "active set lost the capacity to absorb the load");
+    // Drop trailing computers whose load would be non-positive.
+    std::size_t keep = active;
+    while (keep > 1 && std::sqrt(mus[order[keep - 1]]) <= c) --keep;
+    if (keep == active) break;
+    active = keep;
+  }
+
+  std::vector<double> x(mus.size(), 0.0);
+  for (std::size_t k = 0; k < active; ++k) {
+    const std::size_t i = order[k];
+    x[i] = mus[i] - c * std::sqrt(mus[i]);
+    LBMV_ASSERT(x[i] > 0.0 && x[i] < mus[i],
+                "closed-form M/M/1 allocation left its feasible domain");
+  }
+  return model::Allocation(std::move(x));
+}
+
+model::Allocation MM1Allocator::allocate(const model::LatencyFamily& family,
+                                         std::span<const double> types,
+                                         double arrival_rate) const {
+  LBMV_REQUIRE(dynamic_cast<const model::MM1Family*>(&family) != nullptr,
+               "MM1Allocator requires the MM1 latency family");
+  std::vector<double> mus(types.size());
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    LBMV_REQUIRE(types[i] > 0.0, "types must be positive");
+    mus[i] = 1.0 / types[i];
+  }
+  return mm1_allocate(mus, arrival_rate);
+}
+
+}  // namespace lbmv::alloc

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file mm1_allocator.h
+/// Closed-form optimal allocation for M/M/1 computers.
+///
+/// Extension beyond the paper: its companion (Grosu & Chronopoulos,
+/// "Algorithmic Mechanism Design for Load Balancing in Distributed Systems",
+/// Cluster 2002) models computers as M/M/1 queues with expected response
+/// time 1/(mu_i - x_i).  Minimising sum_i x_i/(mu_i - x_i) subject to
+/// sum x_i = R gives the square-root allocation
+///
+///     x_i = mu_i - sqrt(mu_i) * (sum_A mu_j - R) / sum_A sqrt(mu_j)
+///
+/// over the active set A = { i : sqrt(mu_i) > (sum_A mu_j - R)/sum_A sqrt(mu_j) },
+/// found by iteratively dropping computers that would receive negative load.
+
+#include <span>
+#include <string>
+
+#include "lbmv/alloc/allocator.h"
+
+namespace lbmv::alloc {
+
+/// Closed-form allocation for service rates \p mus.  Requires
+/// 0 < arrival_rate < sum(mus).
+[[nodiscard]] model::Allocation mm1_allocate(std::span<const double> mus,
+                                             double arrival_rate);
+
+/// Allocator-interface wrapper.  Interprets types as mean service times
+/// theta_i = 1/mu_i (matching MM1Family); rejects other families.
+class MM1Allocator final : public Allocator {
+ public:
+  [[nodiscard]] model::Allocation allocate(
+      const model::LatencyFamily& family, std::span<const double> types,
+      double arrival_rate) const override;
+  [[nodiscard]] std::string name() const override { return "mm1"; }
+};
+
+}  // namespace lbmv::alloc

@@ -1,0 +1,54 @@
+#include "lbmv/alloc/pr_allocator.h"
+
+#include "lbmv/util/error.h"
+
+namespace lbmv::alloc {
+namespace {
+
+double inverse_sum(std::span<const double> types) {
+  double s = 0.0;
+  for (double t : types) {
+    LBMV_REQUIRE(t > 0.0, "PR algorithm requires positive types");
+    s += 1.0 / t;
+  }
+  return s;
+}
+
+}  // namespace
+
+model::Allocation pr_allocate(std::span<const double> types,
+                              double arrival_rate) {
+  LBMV_REQUIRE(!types.empty(), "PR algorithm requires at least one computer");
+  LBMV_REQUIRE(arrival_rate > 0.0, "arrival rate must be positive");
+  const double denom = inverse_sum(types);
+  std::vector<double> x(types.size());
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    x[i] = (1.0 / types[i]) / denom * arrival_rate;
+  }
+  return model::Allocation(std::move(x));
+}
+
+double pr_optimal_latency(std::span<const double> types, double arrival_rate) {
+  LBMV_REQUIRE(!types.empty(), "PR algorithm requires at least one computer");
+  LBMV_REQUIRE(arrival_rate > 0.0, "arrival rate must be positive");
+  return arrival_rate * arrival_rate / inverse_sum(types);
+}
+
+model::Allocation PRAllocator::allocate(const model::LatencyFamily&,
+                                        std::span<const double> types,
+                                        double arrival_rate) const {
+  return pr_allocate(types, arrival_rate);
+}
+
+double PRAllocator::optimal_latency(const model::LatencyFamily& family,
+                                    std::span<const double> types,
+                                    double arrival_rate) const {
+  // Only the linear family admits the closed form; elsewhere evaluate the
+  // proportional split against the family's actual latency curves.
+  if (dynamic_cast<const model::LinearFamily*>(&family) != nullptr) {
+    return pr_optimal_latency(types, arrival_rate);
+  }
+  return Allocator::optimal_latency(family, types, arrival_rate);
+}
+
+}  // namespace lbmv::alloc

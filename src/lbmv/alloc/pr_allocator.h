@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file pr_allocator.h
+/// The paper's PR (proportional-rate) allocation algorithm.
+///
+/// Theorem 2.1: for linear latencies l_i(x) = t_i * x, the total latency
+/// L(x) = sum_i t_i x_i^2 is minimised subject to sum x_i = R, x_i >= 0 by
+///
+///     x_i* = (1/t_i) / (sum_j 1/t_j) * R        (paper eq. (3))
+///
+/// i.e. jobs are allocated in proportion to processing rates, giving
+///
+///     L* = R^2 / sum_j (1/t_j).                 (paper eq. (4))
+
+#include <span>
+#include <string>
+
+#include "lbmv/alloc/allocator.h"
+
+namespace lbmv::alloc {
+
+/// Closed-form PR allocation.  Requires positive types and arrival rate.
+[[nodiscard]] model::Allocation pr_allocate(std::span<const double> types,
+                                            double arrival_rate);
+
+/// Closed-form optimal total latency R^2 / sum(1/t_j) (paper eq. (4)).
+[[nodiscard]] double pr_optimal_latency(std::span<const double> types,
+                                        double arrival_rate);
+
+/// Allocator-interface wrapper around pr_allocate.
+///
+/// Exact (optimal) for the LinearFamily; for other families it still returns
+/// the proportional split, which is what a system running the paper's
+/// protocol on the wrong model would do — useful in ablations, but the
+/// generic ConvexAllocator should be preferred off the linear path.
+class PRAllocator final : public Allocator {
+ public:
+  [[nodiscard]] model::Allocation allocate(
+      const model::LatencyFamily& family, std::span<const double> types,
+      double arrival_rate) const override;
+  [[nodiscard]] double optimal_latency(const model::LatencyFamily& family,
+                                       std::span<const double> types,
+                                       double arrival_rate) const override;
+  [[nodiscard]] std::string name() const override { return "pr"; }
+};
+
+}  // namespace lbmv::alloc

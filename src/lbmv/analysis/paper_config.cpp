@@ -1,0 +1,59 @@
+#include "lbmv/analysis/paper_config.h"
+
+#include <array>
+
+#include "lbmv/util/error.h"
+
+namespace lbmv::analysis {
+namespace {
+
+const std::array<PaperExperiment, 8>& experiments() {
+  static const std::array<PaperExperiment, 8> kExperiments{{
+      {"True1", 1.0, 1.0,
+       "all computers report true values and execute at full capacity"},
+      {"True2", 1.0, 2.0,
+       "truthful bid, but C1 executes slower than its true capacity"},
+      {"High1", 3.0, 3.0,
+       "C1 bids three times higher; execution value equals the bid"},
+      {"High2", 3.0, 1.0,
+       "C1 bids three times higher but executes at full capacity"},
+      {"High3", 3.0, 2.0,
+       "like High1 except the execution on C1 is faster"},
+      {"High4", 3.0, 4.0,
+       "like High1 except C1 executes the jobs slower"},
+      {"Low1", 0.5, 1.0,
+       "C1 bids 2 times less, executing at its full capacity"},
+      {"Low2", 0.5, 2.0,
+       "C1 bids 2 times less and executes two times slower"},
+  }};
+  return kExperiments;
+}
+
+}  // namespace
+
+model::SystemConfig paper_table1_config() {
+  std::vector<double> types;
+  types.reserve(16);
+  auto add_group = [&](int count, double t) {
+    for (int i = 0; i < count; ++i) types.push_back(t);
+  };
+  add_group(2, 1.0);   // C1 - C2
+  add_group(3, 2.0);   // C3 - C5
+  add_group(5, 5.0);   // C6 - C10
+  add_group(6, 10.0);  // C11 - C16
+  return model::SystemConfig(std::move(types), kPaperArrivalRate);
+}
+
+std::span<const PaperExperiment> paper_table2_experiments() {
+  return experiments();
+}
+
+const PaperExperiment& paper_experiment(const std::string& name) {
+  for (const auto& e : experiments()) {
+    if (e.name == name) return e;
+  }
+  LBMV_REQUIRE(false, "unknown paper experiment: " + name);
+  return experiments().front();  // unreachable
+}
+
+}  // namespace lbmv::analysis

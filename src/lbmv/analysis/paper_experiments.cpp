@@ -1,0 +1,37 @@
+#include "lbmv/analysis/paper_experiments.h"
+
+#include "lbmv/model/bids.h"
+#include "lbmv/util/error.h"
+
+namespace lbmv::analysis {
+
+ExperimentResult run_experiment(const core::Mechanism& mechanism,
+                                const model::SystemConfig& config,
+                                const PaperExperiment& experiment) {
+  const model::BidProfile profile = model::BidProfile::deviate(
+      config, kDeviatingAgent, experiment.bid_mult, experiment.exec_mult);
+  ExperimentResult result;
+  result.experiment = experiment;
+  result.outcome = mechanism.run(config, profile);
+  return result;
+}
+
+std::vector<ExperimentResult> run_paper_experiments(
+    const core::Mechanism& mechanism, const model::SystemConfig& config) {
+  std::vector<ExperimentResult> results;
+  const auto experiments = paper_table2_experiments();
+  results.reserve(experiments.size());
+  for (const auto& experiment : experiments) {
+    results.push_back(run_experiment(mechanism, config, experiment));
+  }
+  LBMV_ASSERT(!results.empty() && results.front().experiment.name == "True1",
+              "experiment list must start with True1");
+  const double baseline = results.front().outcome.actual_latency;
+  for (auto& r : results) {
+    r.latency_increase_vs_true1 =
+        (r.outcome.actual_latency - baseline) / baseline;
+  }
+  return results;
+}
+
+}  // namespace lbmv::analysis

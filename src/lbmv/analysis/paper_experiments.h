@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file paper_experiments.h
+/// Runners producing the data behind the paper's Figures 1–6.
+
+#include <span>
+#include <vector>
+
+#include "lbmv/analysis/paper_config.h"
+#include "lbmv/core/mechanism.h"
+
+namespace lbmv::analysis {
+
+/// Outcome of one Table 2 experiment.
+struct ExperimentResult {
+  PaperExperiment experiment;
+  core::MechanismOutcome outcome;
+  /// (L - L_True1) / L_True1 — the "performance degradation" of Figure 1.
+  double latency_increase_vs_true1 = 0.0;
+};
+
+/// Run a single Table 2 experiment under \p mechanism.
+[[nodiscard]] ExperimentResult run_experiment(
+    const core::Mechanism& mechanism, const model::SystemConfig& config,
+    const PaperExperiment& experiment);
+
+/// Run all eight experiments in the paper's order.  The first entry is
+/// True1, against which every latency increase is measured.
+[[nodiscard]] std::vector<ExperimentResult> run_paper_experiments(
+    const core::Mechanism& mechanism, const model::SystemConfig& config);
+
+}  // namespace lbmv::analysis

@@ -1,0 +1,136 @@
+#include "lbmv/analysis/report.h"
+
+#include <sstream>
+
+#include "lbmv/core/frugality.h"
+#include "lbmv/util/ascii_chart.h"
+#include "lbmv/util/csv.h"
+#include "lbmv/util/table.h"
+
+namespace lbmv::analysis {
+
+using util::Bar;
+using util::BarGroup;
+using util::Table;
+
+std::string render_table1(const model::SystemConfig& config) {
+  std::ostringstream os;
+  os << "Table 1. System configuration (n = " << config.size()
+     << ", R = " << config.arrival_rate() << " jobs/s)\n";
+  Table table({"Computer", "True value (t)"});
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    table.add_row({"C" + std::to_string(i + 1),
+                   Table::num(config.true_value(i), 1)});
+  }
+  os << table.to_markdown();
+  return os.str();
+}
+
+std::string render_table2() {
+  std::ostringstream os;
+  os << "Table 2. Types of experiments (deviating computer: C1)\n";
+  Table table({"Experiment", "Bid b1", "Execution t~1", "Characterisation"});
+  for (const auto& e : paper_table2_experiments()) {
+    table.add_row({e.name, Table::num(e.bid_mult, 2) + " * t1",
+                   Table::num(e.exec_mult, 2) + " * t1", e.description});
+  }
+  os << table.to_markdown();
+  return os.str();
+}
+
+std::string render_figure1(std::span<const ExperimentResult> results) {
+  std::ostringstream os;
+  os << "Figure 1. Performance degradation: total latency per experiment\n";
+  Table table({"Experiment", "Total latency L", "Increase vs True1"});
+  std::vector<Bar> bars;
+  for (const auto& r : results) {
+    table.add_row({r.experiment.name, Table::num(r.outcome.actual_latency),
+                   Table::pct(r.latency_increase_vs_true1)});
+    bars.push_back({r.experiment.name, r.outcome.actual_latency});
+  }
+  os << table.to_markdown() << '\n' << util::bar_chart("", bars);
+  return os.str();
+}
+
+std::string render_figure2(std::span<const ExperimentResult> results) {
+  std::ostringstream os;
+  os << "Figure 2. Payment and utility of computer C1 per experiment\n";
+  Table table({"Experiment", "Compensation", "Bonus", "Payment", "Utility"});
+  std::vector<BarGroup> groups;
+  for (const auto& r : results) {
+    const auto& c1 = r.outcome.agents[kDeviatingAgent];
+    table.add_row({r.experiment.name, Table::num(c1.compensation),
+                   Table::num(c1.bonus), Table::num(c1.payment),
+                   Table::num(c1.utility)});
+    groups.push_back({r.experiment.name, {c1.payment, c1.utility}});
+  }
+  os << table.to_markdown() << '\n'
+     << util::grouped_bar_chart("", {"payment", "utility"}, groups);
+  return os.str();
+}
+
+std::string render_per_computer_figure(const ExperimentResult& result,
+                                       const std::string& figure_name) {
+  std::ostringstream os;
+  os << figure_name << ". Payment and utility for each computer ("
+     << result.experiment.name << ")\n";
+  Table table({"Computer", "Allocation x", "Payment", "Utility"});
+  std::vector<BarGroup> groups;
+  for (std::size_t i = 0; i < result.outcome.agents.size(); ++i) {
+    const auto& agent = result.outcome.agents[i];
+    const std::string name = "C" + std::to_string(i + 1);
+    table.add_row({name, Table::num(agent.allocation),
+                   Table::num(agent.payment), Table::num(agent.utility)});
+    groups.push_back({name, {agent.payment, agent.utility}});
+  }
+  os << table.to_markdown() << '\n'
+     << util::grouped_bar_chart("", {"payment", "utility"}, groups);
+  return os.str();
+}
+
+std::string render_figure6(std::span<const ExperimentResult> results) {
+  std::ostringstream os;
+  os << "Figure 6. Payment structure: total payment vs total valuation\n";
+  Table table({"Experiment", "Total payment", "Total |valuation|",
+               "Payment / valuation"});
+  std::vector<BarGroup> groups;
+  double max_ratio = 0.0;
+  for (const auto& r : results) {
+    const auto frugality = core::frugality_of(r.outcome);
+    table.add_row({r.experiment.name, Table::num(frugality.total_payment),
+                   Table::num(frugality.total_valuation),
+                   Table::num(frugality.ratio())});
+    groups.push_back({r.experiment.name,
+                      {frugality.total_payment, frugality.total_valuation}});
+    max_ratio = std::max(max_ratio, frugality.ratio());
+  }
+  os << table.to_markdown() << '\n'
+     << util::grouped_bar_chart("", {"total payment", "total |valuation|"},
+                                groups)
+     << "  max payment/valuation ratio: " << Table::num(max_ratio)
+     << "  (paper: at most ~2.5)\n";
+  return os.str();
+}
+
+std::string results_csv(std::span<const ExperimentResult> results) {
+  std::ostringstream os;
+  util::CsvWriter csv(os);
+  csv.write_row({"experiment", "bid_mult", "exec_mult", "total_latency",
+                 "latency_increase", "c1_compensation", "c1_bonus",
+                 "c1_payment", "c1_utility", "total_payment",
+                 "total_valuation"});
+  for (const auto& r : results) {
+    const auto& c1 = r.outcome.agents[kDeviatingAgent];
+    const auto frugality = core::frugality_of(r.outcome);
+    os << util::CsvWriter::quote(r.experiment.name) << ',';
+    csv.write_numeric_row({r.experiment.bid_mult, r.experiment.exec_mult,
+                           r.outcome.actual_latency,
+                           r.latency_increase_vs_true1, c1.compensation,
+                           c1.bonus, c1.payment, c1.utility,
+                           frugality.total_payment,
+                           frugality.total_valuation});
+  }
+  return os.str();
+}
+
+}  // namespace lbmv::analysis

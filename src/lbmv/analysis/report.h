@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file report.h
+/// Rendering of the paper's tables and figures from experiment results.
+///
+/// Each render_* function returns the full text block a bench binary prints:
+/// a markdown table with the exact series values plus an ASCII chart with
+/// the figure's shape.  Keeping the rendering here lets tests assert on the
+/// same artefacts the benches emit.
+
+#include <span>
+#include <string>
+
+#include "lbmv/analysis/paper_experiments.h"
+
+namespace lbmv::analysis {
+
+/// Table 1: the system configuration.
+[[nodiscard]] std::string render_table1(const model::SystemConfig& config);
+
+/// Table 2: the experiment definitions.
+[[nodiscard]] std::string render_table2();
+
+/// Figure 1: total latency per experiment ("performance degradation").
+[[nodiscard]] std::string render_figure1(
+    std::span<const ExperimentResult> results);
+
+/// Figure 2: payment and utility of computer C1 per experiment.
+[[nodiscard]] std::string render_figure2(
+    std::span<const ExperimentResult> results);
+
+/// Figures 3–5: payment and utility of every computer in one experiment.
+[[nodiscard]] std::string render_per_computer_figure(
+    const ExperimentResult& result, const std::string& figure_name);
+
+/// Figure 6: payment structure — total payment vs total valuation and the
+/// frugality ratio, per experiment.
+[[nodiscard]] std::string render_figure6(
+    std::span<const ExperimentResult> results);
+
+/// CSV block (one line per experiment) with every headline series, for
+/// re-plotting outside the repository.
+[[nodiscard]] std::string results_csv(
+    std::span<const ExperimentResult> results);
+
+}  // namespace lbmv::analysis

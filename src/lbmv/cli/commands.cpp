@@ -1,0 +1,576 @@
+#include "lbmv/cli/commands.h"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "lbmv/analysis/paper_experiments.h"
+#include "lbmv/analysis/report.h"
+#include "lbmv/core/archer_tardos.h"
+#include "lbmv/core/audit.h"
+#include "lbmv/core/comp_bonus.h"
+#include "lbmv/core/frugality.h"
+#include "lbmv/core/no_payment.h"
+#include "lbmv/core/vcg.h"
+#include "lbmv/dist/protocols.h"
+#include "lbmv/game/wardrop.h"
+#include "lbmv/sim/epochs.h"
+#include "lbmv/sim/protocol.h"
+#include "lbmv/strategy/best_response.h"
+#include "lbmv/strategy/learning.h"
+#include "lbmv/util/cli.h"
+#include "lbmv/util/json.h"
+#include "lbmv/util/table.h"
+
+namespace lbmv::cli {
+namespace {
+
+using util::ArgParser;
+using util::JsonValue;
+using util::Table;
+using util::UsageError;
+
+std::unique_ptr<core::Mechanism> make_mechanism(const std::string& name) {
+  if (name == "comp-bonus") return std::make_unique<core::CompBonusMechanism>();
+  if (name == "vcg") return std::make_unique<core::VcgMechanism>();
+  if (name == "archer-tardos") {
+    return std::make_unique<core::ArcherTardosMechanism>();
+  }
+  if (name == "no-payment") return std::make_unique<core::NoPaymentMechanism>();
+  throw UsageError("unknown mechanism '" + name +
+                   "' (comp-bonus | vcg | archer-tardos | no-payment)");
+}
+
+model::SystemConfig config_from_args(const ArgParser& args) {
+  const auto types = args.option_as_doubles("types");
+  const double rate = args.option_as_double("rate");
+  for (double t : types) {
+    if (t <= 0.0) throw UsageError("--types entries must be positive");
+  }
+  if (rate <= 0.0) throw UsageError("--rate must be positive");
+  return model::SystemConfig(types, rate);
+}
+
+/// --deviate i:bid_mult[:exec_mult], repeatable via comma separation
+/// (e.g. "0:3:1.5,2:0.5").
+model::BidProfile profile_from_deviations(const model::SystemConfig& config,
+                                          const std::string& spec) {
+  model::BidProfile profile = model::BidProfile::truthful(config);
+  if (spec.empty()) return profile;
+  std::stringstream groups(spec);
+  std::string group;
+  while (std::getline(groups, group, ',')) {
+    std::stringstream fields(group);
+    std::string field;
+    std::vector<std::string> parts;
+    while (std::getline(fields, field, ':')) parts.push_back(field);
+    if (parts.size() < 2 || parts.size() > 3) {
+      throw UsageError("--deviate expects agent:bid_mult[:exec_mult]");
+    }
+    try {
+      const auto agent = static_cast<std::size_t>(std::stoul(parts[0]));
+      const double bid_mult = std::stod(parts[1]);
+      const double exec_mult = parts.size() == 3 ? std::stod(parts[2]) : 1.0;
+      if (agent >= config.size()) throw UsageError("--deviate agent index");
+      profile.bids[agent] = config.true_value(agent) * bid_mult;
+      profile.executions[agent] = config.true_value(agent) * exec_mult;
+    } catch (const UsageError&) {
+      throw;
+    } catch (const std::exception&) {
+      throw UsageError("malformed --deviate group '" + group + "'");
+    }
+  }
+  return profile;
+}
+
+JsonValue outcome_to_json(const core::MechanismOutcome& outcome) {
+  JsonValue::Array agents;
+  for (const auto& a : outcome.agents) {
+    JsonValue::Object agent;
+    agent["allocation"] = a.allocation;
+    agent["compensation"] = a.compensation;
+    agent["bonus"] = a.bonus;
+    agent["payment"] = a.payment;
+    agent["valuation"] = a.valuation;
+    agent["utility"] = a.utility;
+    agents.emplace_back(std::move(agent));
+  }
+  JsonValue::Object root;
+  root["actual_latency"] = outcome.actual_latency;
+  root["reported_latency"] = outcome.reported_latency;
+  root["total_payment"] = outcome.total_payment();
+  root["agents"] = JsonValue(std::move(agents));
+  return JsonValue(std::move(root));
+}
+
+void print_outcome(const core::MechanismOutcome& outcome, std::ostream& out) {
+  Table table({"Agent", "jobs/s", "Compensation", "Bonus", "Payment",
+               "Utility"});
+  for (std::size_t i = 0; i < outcome.agents.size(); ++i) {
+    const auto& a = outcome.agents[i];
+    table.add_row({"C" + std::to_string(i + 1), Table::num(a.allocation, 4),
+                   Table::num(a.compensation, 4), Table::num(a.bonus, 4),
+                   Table::num(a.payment, 4), Table::num(a.utility, 4)});
+  }
+  out << "actual latency: " << Table::num(outcome.actual_latency, 4)
+      << "   reported latency: "
+      << Table::num(outcome.reported_latency, 4) << "\n"
+      << table.to_markdown();
+}
+
+int cmd_paper(const std::vector<std::string>& rest, std::ostream& out) {
+  ArgParser args("lbmv paper", "regenerate the paper's evaluation");
+  args.add_option("rate", "arrival rate (jobs/s)", "20");
+  args.parse(rest);
+  if (args.flag("help")) {
+    out << args.help();
+    return 0;
+  }
+  const auto config = analysis::paper_table1_config().with_arrival_rate(
+      args.option_as_double("rate"));
+  const core::CompBonusMechanism mechanism;
+  const auto results = analysis::run_paper_experiments(mechanism, config);
+  out << analysis::render_table1(config) << '\n'
+      << analysis::render_table2() << '\n'
+      << analysis::render_figure1(results) << '\n'
+      << analysis::render_figure2(results) << '\n'
+      << analysis::render_figure6(results);
+  return 0;
+}
+
+int cmd_run(const std::vector<std::string>& rest, std::ostream& out) {
+  ArgParser args("lbmv run", "run one mechanism round");
+  args.add_option("types", "true values, comma separated", "1,2,5,10");
+  args.add_option("rate", "arrival rate (jobs/s)", "20");
+  args.add_option("mechanism", "mechanism name", "comp-bonus");
+  args.add_option("deviate", "agent:bid_mult[:exec_mult], comma separated",
+                  "");
+  args.add_flag("json", "emit JSON instead of a table");
+  args.parse(rest);
+  if (args.flag("help")) {
+    out << args.help();
+    return 0;
+  }
+  const auto config = config_from_args(args);
+  const auto mechanism = make_mechanism(args.option("mechanism"));
+  const auto profile =
+      profile_from_deviations(config, args.option("deviate"));
+  const auto outcome = mechanism->run(config, profile);
+  if (args.flag("json")) {
+    out << outcome_to_json(outcome).dump(2) << '\n';
+  } else {
+    print_outcome(outcome, out);
+  }
+  return 0;
+}
+
+int cmd_audit(const std::vector<std::string>& rest, std::ostream& out) {
+  ArgParser args("lbmv audit", "grid-audit truthfulness per agent");
+  args.add_option("types", "true values, comma separated", "1,2,5,10");
+  args.add_option("rate", "arrival rate (jobs/s)", "20");
+  args.add_option("mechanism", "mechanism name", "comp-bonus");
+  args.parse(rest);
+  if (args.flag("help")) {
+    out << args.help();
+    return 0;
+  }
+  const auto config = config_from_args(args);
+  const auto mechanism = make_mechanism(args.option("mechanism"));
+  const core::TruthfulnessAuditor auditor(*mechanism);
+  Table table({"Agent", "Truthful utility", "Best deviation", "Max gain",
+               "Dominant?"});
+  bool all_ok = true;
+  for (const auto& report : auditor.audit_all(config)) {
+    const bool ok = report.truthful_dominant(1e-7);
+    all_ok &= ok;
+    std::ostringstream best;
+    best << "bid x" << report.best.bid_mult << ", exec x"
+         << report.best.exec_mult;
+    table.add_row({"C" + std::to_string(report.agent + 1),
+                   Table::num(report.truthful_utility, 4), best.str(),
+                   Table::num(report.max_gain, 6), ok ? "yes" : "NO"});
+  }
+  out << "mechanism: " << mechanism->name()
+      << (mechanism->uses_verification() ? " (with verification)" : "")
+      << "\n"
+      << table.to_markdown() << "voluntary participation: "
+      << (core::voluntary_participation_holds(*mechanism, config) ? "holds"
+                                                                  : "VIOLATED")
+      << "\n";
+  return all_ok ? 0 : 1;
+}
+
+int cmd_frugality(const std::vector<std::string>& rest, std::ostream& out) {
+  ArgParser args("lbmv frugality", "payment structure at the truthful profile");
+  args.add_option("types", "true values, comma separated", "1,2,5,10");
+  args.add_option("rate", "arrival rate (jobs/s)", "20");
+  args.parse(rest);
+  if (args.flag("help")) {
+    out << args.help();
+    return 0;
+  }
+  const auto config = config_from_args(args);
+  const core::CompBonusMechanism mechanism;
+  const auto outcome =
+      mechanism.run(config, model::BidProfile::truthful(config));
+  const auto report = core::frugality_of(outcome);
+  out << "total payment:     " << Table::num(report.total_payment, 4) << '\n'
+      << "total |valuation|: " << Table::num(report.total_valuation, 4)
+      << '\n'
+      << "ratio:             " << Table::num(report.ratio(), 4) << '\n';
+  return 0;
+}
+
+int cmd_dynamics(const std::vector<std::string>& rest, std::ostream& out) {
+  ArgParser args("lbmv dynamics", "iterated best-response dynamics");
+  args.add_option("types", "true values, comma separated", "1,2,5");
+  args.add_option("rate", "arrival rate (jobs/s)", "10");
+  args.add_option("mechanism", "mechanism name", "comp-bonus");
+  args.add_option("rounds", "max rounds", "20");
+  args.parse(rest);
+  if (args.flag("help")) {
+    out << args.help();
+    return 0;
+  }
+  const auto config = config_from_args(args);
+  const auto mechanism = make_mechanism(args.option("mechanism"));
+  strategy::BestResponseOptions options;
+  options.max_rounds = static_cast<int>(args.option_as_long("rounds"));
+  const auto result =
+      strategy::best_response_dynamics(*mechanism, config, options);
+  out << "converged: " << (result.converged ? "yes" : "no") << " after "
+      << result.rounds << " rounds\n";
+  Table table({"Agent", "Final bid / true", "Final exec / true"});
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    table.add_row({"C" + std::to_string(i + 1),
+                   Table::num(result.final_bids[i] / config.true_value(i), 3),
+                   Table::num(
+                       result.final_executions[i] / config.true_value(i),
+                       3)});
+  }
+  out << table.to_markdown() << "final latency: "
+      << Table::num(result.final_actual_latency, 4) << '\n';
+  return 0;
+}
+
+int cmd_learn(const std::vector<std::string>& rest, std::ostream& out) {
+  ArgParser args("lbmv learn", "epsilon-greedy bandit agents");
+  args.add_option("types", "true values, comma separated", "1,2,5");
+  args.add_option("rate", "arrival rate (jobs/s)", "10");
+  args.add_option("mechanism", "mechanism name", "comp-bonus");
+  args.add_option("rounds", "learning rounds", "800");
+  args.add_option("seed", "rng seed", "5");
+  args.parse(rest);
+  if (args.flag("help")) {
+    out << args.help();
+    return 0;
+  }
+  const auto config = config_from_args(args);
+  const auto mechanism = make_mechanism(args.option("mechanism"));
+  strategy::LearningOptions options;
+  options.rounds = static_cast<int>(args.option_as_long("rounds"));
+  options.seed = static_cast<std::uint64_t>(args.option_as_long("seed"));
+  const auto result = strategy::run_learning(*mechanism, config, options);
+  Table table({"Agent", "Greedy bid mult", "Greedy exec mult"});
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    table.add_row({"C" + std::to_string(i + 1),
+                   Table::num(result.final_bid_mult[i], 2),
+                   Table::num(result.final_exec_mult[i], 2)});
+  }
+  out << table.to_markdown() << "truthful fraction: "
+      << Table::num(result.truthful_fraction, 2)
+      << ", greedy-profile latency: "
+      << Table::num(result.final_greedy_latency, 4) << '\n';
+  return 0;
+}
+
+int cmd_protocol(const std::vector<std::string>& rest, std::ostream& out) {
+  ArgParser args("lbmv protocol",
+                 "one simulated round with estimated verification");
+  args.add_option("types", "true values (light load!), comma separated",
+                  "0.01,0.01,0.02");
+  args.add_option("rate", "arrival rate (jobs/s)", "3");
+  args.add_option("horizon", "simulated seconds", "20000");
+  args.add_option("seed", "rng seed", "42");
+  args.add_option("deviate", "agent:bid_mult[:exec_mult]", "");
+  args.parse(rest);
+  if (args.flag("help")) {
+    out << args.help();
+    return 0;
+  }
+  const auto config = config_from_args(args);
+  const core::CompBonusMechanism mechanism;
+  sim::ProtocolOptions options;
+  options.horizon = args.option_as_double("horizon");
+  options.seed = static_cast<std::uint64_t>(args.option_as_long("seed"));
+  const sim::VerifiedProtocol protocol(mechanism, options);
+  const auto report = protocol.run_round(
+      config, profile_from_deviations(config, args.option("deviate")));
+  Table table({"Agent", "jobs/s", "Estimated t~", "Payment (estimated)",
+               "Payment (oracle)"});
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    table.add_row({"C" + std::to_string(i + 1),
+                   Table::num(report.allocation[i], 4),
+                   Table::num(report.estimated_execution[i], 5),
+                   Table::num(report.outcome.agents[i].payment, 5),
+                   Table::num(report.oracle_outcome.agents[i].payment, 5)});
+  }
+  out << "messages: " << report.messages << " (3n), jobs: "
+      << report.metrics.total_jobs() << '\n'
+      << table.to_markdown() << "measured total latency: "
+      << Table::num(report.metrics.measured_total_latency, 5)
+      << "  analytic: "
+      << Table::num(report.oracle_outcome.actual_latency, 5) << '\n';
+  return 0;
+}
+
+int cmd_dist(const std::vector<std::string>& rest, std::ostream& out) {
+  ArgParser args("lbmv dist", "distributed payment deployments");
+  args.add_option("types", "true values, comma separated", "1,2,5,10");
+  args.add_option("rate", "arrival rate (jobs/s)", "20");
+  args.add_option("topology", "star | broadcast | tree | private", "tree");
+  args.add_option("deviate", "agent:bid_mult[:exec_mult]", "");
+  args.parse(rest);
+  if (args.flag("help")) {
+    out << args.help();
+    return 0;
+  }
+  const auto config = config_from_args(args);
+  const std::string topology_name = args.option("topology");
+  dist::Topology topology;
+  if (topology_name == "star") {
+    topology = dist::Topology::kStar;
+  } else if (topology_name == "broadcast") {
+    topology = dist::Topology::kBroadcast;
+  } else if (topology_name == "tree") {
+    topology = dist::Topology::kTree;
+  } else if (topology_name == "private") {
+    topology = dist::Topology::kPrivate;
+  } else {
+    throw UsageError("unknown topology '" + topology_name + "'");
+  }
+  const auto report = dist::run_distributed_round(
+      topology, config,
+      profile_from_deviations(config, args.option("deviate")));
+  Table table({"Agent", "jobs/s", "Payment", "Utility"});
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    table.add_row({"C" + std::to_string(i + 1),
+                   Table::num(report.allocation[i], 4),
+                   Table::num(report.payments[i], 4),
+                   Table::num(report.utilities[i], 4)});
+  }
+  out << "protocol: " << report.protocol << ", messages: " << report.messages
+      << ", doubles: " << report.doubles_transferred
+      << ", time: " << Table::num(report.completion_time, 3) << "s\n"
+      << table.to_markdown();
+  return 0;
+}
+
+int cmd_config(const std::vector<std::string>& rest, std::ostream& out) {
+  ArgParser args("lbmv config", "run a round described by a JSON file");
+  args.add_option("file", "path to the JSON description", "");
+  args.add_flag("json", "emit JSON instead of a table");
+  args.parse(rest);
+  if (args.flag("help")) {
+    out << args.help();
+    return 0;
+  }
+  const std::string path = args.option("file");
+  if (path.empty()) throw UsageError("--file is required");
+  std::ifstream in(path);
+  if (!in) throw UsageError("cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue doc = JsonValue::parse(buffer.str());
+
+  std::vector<double> types;
+  for (const auto& t : doc.at("true_values").as_array()) {
+    types.push_back(t.as_number());
+  }
+  const model::SystemConfig config(types,
+                                   doc.at("arrival_rate").as_number());
+  model::BidProfile profile = model::BidProfile::truthful(config);
+  if (doc.contains("deviations")) {
+    for (const auto& d : doc.at("deviations").as_array()) {
+      const auto agent = static_cast<std::size_t>(d.at("agent").as_number());
+      if (agent >= config.size()) throw UsageError("deviation agent index");
+      profile.bids[agent] =
+          config.true_value(agent) * d.number_or("bid_mult", 1.0);
+      profile.executions[agent] =
+          config.true_value(agent) * d.number_or("exec_mult", 1.0);
+    }
+  }
+  const std::string mechanism_name =
+      doc.contains("mechanism") ? doc.at("mechanism").as_string()
+                                : "comp-bonus";
+  const auto mechanism = make_mechanism(mechanism_name);
+  const auto outcome = mechanism->run(config, profile);
+  if (args.flag("json")) {
+    out << outcome_to_json(outcome).dump(2) << '\n';
+  } else {
+    print_outcome(outcome, out);
+  }
+  return 0;
+}
+
+int cmd_poa(const std::vector<std::string>& rest, std::ostream& out) {
+  ArgParser args("lbmv poa",
+                 "price of anarchy of selfish routing on parallel links");
+  args.add_option("types", "linear slopes t_i, comma separated", "1,2,5");
+  args.add_option("constants", "optional constant terms a_i (affine links)",
+                  "");
+  args.add_option("rate", "demand (jobs/s)", "10");
+  args.parse(rest);
+  if (args.flag("help")) {
+    out << args.help();
+    return 0;
+  }
+  const auto slopes = args.option_as_doubles("types");
+  std::vector<double> constants(slopes.size(), 0.0);
+  if (!args.option("constants").empty()) {
+    constants = args.option_as_doubles("constants");
+    if (constants.size() != slopes.size()) {
+      throw UsageError("--constants must match --types in length");
+    }
+  }
+  std::vector<std::unique_ptr<model::LatencyFunction>> links;
+  for (std::size_t i = 0; i < slopes.size(); ++i) {
+    if (constants[i] == 0.0) {
+      links.push_back(std::make_unique<model::LinearLatency>(slopes[i]));
+    } else {
+      links.push_back(
+          std::make_unique<model::AffineLatency>(constants[i], slopes[i]));
+    }
+  }
+  const auto report =
+      game::price_of_anarchy(links, args.option_as_double("rate"));
+  out << "equilibrium latency: " << Table::num(report.equilibrium_latency, 4)
+      << '\n'
+      << "optimal latency:     " << Table::num(report.optimal_latency, 4)
+      << '\n'
+      << "price of anarchy:    " << Table::num(report.price_of_anarchy(), 4)
+      << '\n';
+  return 0;
+}
+
+int cmd_coalition(const std::vector<std::string>& rest, std::ostream& out) {
+  ArgParser args("lbmv coalition", "joint-deviation audit for agent pairs");
+  args.add_option("types", "true values, comma separated", "1,2,5,10");
+  args.add_option("rate", "arrival rate (jobs/s)", "20");
+  args.add_option("pair", "two agent indices, comma separated", "0,1");
+  args.parse(rest);
+  if (args.flag("help")) {
+    out << args.help();
+    return 0;
+  }
+  const auto config = config_from_args(args);
+  const auto pair = args.option_as_doubles("pair");
+  if (pair.size() != 2) throw UsageError("--pair expects two indices");
+  const core::CompBonusMechanism mechanism;
+  const core::CoalitionAuditor auditor(mechanism);
+  const auto report = auditor.audit_pair(
+      config, static_cast<std::size_t>(pair[0]),
+      static_cast<std::size_t>(pair[1]));
+  out << "joint truthful utility: "
+      << Table::num(report.truthful_joint_utility, 4) << '\n'
+      << "best joint utility:     "
+      << Table::num(report.best.joint_utility, 4) << " (A: bid x"
+      << report.best.bid_mult_a << " exec x" << report.best.exec_mult_a
+      << "; B: bid x" << report.best.bid_mult_b << " exec x"
+      << report.best.exec_mult_b << ")\n"
+      << "max joint gain:         " << Table::num(report.max_joint_gain, 4)
+      << '\n'
+      << "coalition-proof:        "
+      << (report.coalition_proof(1e-6) ? "yes" : "NO") << '\n';
+  return report.coalition_proof(1e-6) ? 0 : 1;
+}
+
+int cmd_epochs(const std::vector<std::string>& rest, std::ostream& out) {
+  ArgParser args("lbmv epochs", "multi-epoch operation under drift");
+  args.add_option("types", "true values, comma separated", "1,2,5");
+  args.add_option("rate", "arrival rate (jobs/s)", "10");
+  args.add_option("epochs", "number of epochs", "30");
+  args.add_option("drift", "per-epoch log-speed sigma", "0.1");
+  args.add_option("lag", "bid staleness (epochs), same for every agent",
+                  "0");
+  args.parse(rest);
+  if (args.flag("help")) {
+    out << args.help();
+    return 0;
+  }
+  const auto config = config_from_args(args);
+  const core::CompBonusMechanism mechanism;
+  sim::EpochOptions options;
+  options.epochs = static_cast<int>(args.option_as_long("epochs"));
+  options.drift_sigma = args.option_as_double("drift");
+  options.bid_lags.assign(config.size(),
+                          static_cast<int>(args.option_as_long("lag")));
+  const auto report = sim::run_epochs(mechanism, config, options);
+  out << "mean efficiency (optimal/achieved): "
+      << Table::num(report.mean_efficiency, 4) << '\n';
+  Table table({"Agent", "Cumulative utility"});
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    table.add_row({"C" + std::to_string(i + 1),
+                   Table::num(report.cumulative_utility[i], 3)});
+  }
+  out << table.to_markdown();
+  return 0;
+}
+
+constexpr const char* kTopHelp =
+    "lbmv — load balancing mechanisms with verification\n"
+    "\n"
+    "commands:\n"
+    "  paper       regenerate the paper's tables and figures\n"
+    "  run         run one mechanism round on a custom system\n"
+    "  audit       grid-audit truthfulness of a mechanism\n"
+    "  frugality   payment structure at the truthful profile\n"
+    "  dynamics    iterated best-response dynamics\n"
+    "  learn       epsilon-greedy bandit agents\n"
+    "  protocol    simulated round with estimated verification\n"
+    "  dist        distributed payment deployments\n"
+    "  config      run a round described by a JSON file\n"
+    "  poa         price of anarchy of selfish routing\n"
+    "  coalition   joint-deviation audit for agent pairs\n"
+    "  epochs      multi-epoch operation under drifting speeds\n"
+    "\n"
+    "run `lbmv <command> --help` for command options.\n";
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << kTopHelp;
+    return args.empty() ? 2 : 0;
+  }
+  const std::string command = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  try {
+    if (command == "paper") return cmd_paper(rest, out);
+    if (command == "run") return cmd_run(rest, out);
+    if (command == "audit") return cmd_audit(rest, out);
+    if (command == "frugality") return cmd_frugality(rest, out);
+    if (command == "dynamics") return cmd_dynamics(rest, out);
+    if (command == "learn") return cmd_learn(rest, out);
+    if (command == "protocol") return cmd_protocol(rest, out);
+    if (command == "dist") return cmd_dist(rest, out);
+    if (command == "config") return cmd_config(rest, out);
+    if (command == "poa") return cmd_poa(rest, out);
+    if (command == "coalition") return cmd_coalition(rest, out);
+    if (command == "epochs") return cmd_epochs(rest, out);
+    err << "unknown command '" << command << "'\n\n" << kTopHelp;
+    return 2;
+  } catch (const UsageError& e) {
+    err << "usage error: " << e.what() << '\n';
+    return 2;
+  } catch (const util::JsonError& e) {
+    err << "config error: " << e.what() << '\n';
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace lbmv::cli

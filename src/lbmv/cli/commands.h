@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file commands.h
+/// Implementation of the `lbmv` command-line tool.
+///
+/// The tool makes the whole library drivable without writing C++:
+///
+///   lbmv paper                      # regenerate the paper's evaluation
+///   lbmv run --types 1,2,5 --rate 20 --deviate 0:3:1.5
+///   lbmv audit --types 1,2,5 --rate 20 --mechanism vcg
+///   lbmv frugality --types 1,1,2,4 --rate 12
+///   lbmv dynamics --types 1,2,5 --rate 10 --mechanism no-payment
+///   lbmv learn --types 1,2,5 --rate 10 --rounds 800
+///   lbmv protocol --types 0.01,0.02 --rate 2 --horizon 20000
+///   lbmv dist --types 1,2,5 --rate 10 --topology private
+///   lbmv config --file system.json  # JSON-described round (+ --json out)
+///
+/// Kept in a library (rather than in main) so the commands are unit
+/// testable; the binary in tools/ is a two-line dispatcher.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lbmv::cli {
+
+/// Run the tool on \p args (argv without the program name).  Normal and
+/// error output go to \p out / \p err.  Returns the process exit code
+/// (0 on success, 2 on usage errors, 1 on runtime failures).
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace lbmv::cli

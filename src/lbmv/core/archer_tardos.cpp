@@ -1,0 +1,58 @@
+#include "lbmv/core/archer_tardos.h"
+
+#include "lbmv/util/error.h"
+#include "lbmv/util/integrate.h"
+
+namespace lbmv::core {
+
+double archer_tardos_tail_integral(double bid, double inverse_bid_sum_rest,
+                                   double arrival_rate) {
+  LBMV_REQUIRE(bid > 0.0, "bid must be positive");
+  LBMV_REQUIRE(inverse_bid_sum_rest > 0.0,
+               "the other agents must contribute positive capacity");
+  LBMV_REQUIRE(arrival_rate > 0.0, "arrival rate must be positive");
+  const double s = inverse_bid_sum_rest;
+  return arrival_rate * arrival_rate / (s * (1.0 + bid * s));
+}
+
+ArcherTardosMechanism::ArcherTardosMechanism()
+    : Mechanism(default_allocator()) {}
+
+double ArcherTardosMechanism::tail_integral_numeric(
+    double bid, double inverse_bid_sum_rest, double arrival_rate,
+    double tol) {
+  const double s = inverse_bid_sum_rest;
+  const double r2 = arrival_rate * arrival_rate;
+  return util::integrate_to_infinity(
+      [s, r2](double u) {
+        const double d = 1.0 + u * s;
+        return r2 / (d * d);
+      },
+      bid, tol);
+}
+
+void ArcherTardosMechanism::fill_payments(
+    const model::LatencyFamily& family, double arrival_rate,
+    const model::BidProfile& profile, const model::Allocation& x,
+    std::vector<AgentOutcome>& outcomes) const {
+  LBMV_REQUIRE(dynamic_cast<const model::LinearFamily*>(&family) != nullptr,
+               "the Archer–Tardos closed form is derived for the linear "
+               "family under PR allocation");
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    auto& agent = outcomes[i];
+    double s = 0.0;
+    for (std::size_t j = 0; j < profile.size(); ++j) {
+      if (j != i) s += 1.0 / profile.bids[j];
+    }
+    const double work = x[i] * x[i];
+    // Bookkeeping split mirrors the formula: b_i * w_i (the reported cost,
+    // analogous to a compensation) plus the tail integral (the incentive
+    // term).
+    agent.compensation = profile.bids[i] * work;
+    agent.bonus =
+        archer_tardos_tail_integral(profile.bids[i], s, arrival_rate);
+    agent.payment = agent.compensation + agent.bonus;
+  }
+}
+
+}  // namespace lbmv::core

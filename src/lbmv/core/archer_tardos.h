@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file archer_tardos.h
+/// Archer–Tardos one-parameter truthful baseline — no verification.
+///
+/// Archer & Tardos (FOCS 2001) show that for agents whose private data is a
+/// single scalar t_i and whose cost is t_i * w_i(b) for some "work" measure
+/// w_i, an allocation rule is truthfully implementable iff w_i is
+/// non-increasing in the agent's own bid, and the (normalised) truthful
+/// payment is
+///
+///     P_i(b) = b_i * w_i(b) + Integral_{b_i}^{inf} w_i(u, b_{-i}) du.
+///
+/// In the paper's load balancing setting the agent's cost is t_i * x_i^2, so
+/// the work curve is w_i = x_i^2; under the PR allocation
+/// x_i(u, b_{-i}) = R / (1 + u * s_i) with s_i = sum_{j != i} 1/b_j, which is
+/// decreasing in u, and the payment integral has the closed form
+///
+///     Integral_{b}^{inf} R^2 / (1 + u s)^2 du = R^2 / (s * (1 + b s)).
+///
+/// Grosu & Chronopoulos used this framework in the companion paper (Cluster
+/// 2002) for M/M/1 computers; here it serves as the natural
+/// verification-free baseline against the paper's compensation-and-bonus
+/// mechanism: truthful in bids, blind to slow execution.
+
+#include <span>
+#include <string>
+
+#include "lbmv/core/mechanism.h"
+
+namespace lbmv::core {
+
+/// Closed-form payment integral Integral_{bid}^{inf} w_i du under PR.
+/// \p inverse_bid_sum_rest is s_i = sum_{j != i} 1/b_j.
+[[nodiscard]] double archer_tardos_tail_integral(double bid,
+                                                 double inverse_bid_sum_rest,
+                                                 double arrival_rate);
+
+/// The Archer–Tardos mechanism for the PR allocation on linear latencies.
+class ArcherTardosMechanism final : public Mechanism {
+ public:
+  ArcherTardosMechanism();
+
+  [[nodiscard]] std::string name() const override { return "archer-tardos"; }
+  [[nodiscard]] bool uses_verification() const override { return false; }
+
+  /// Numeric evaluation of the payment tail integral (adaptive Simpson over
+  /// the transformed infinite interval) — used by tests to certify the
+  /// closed form.
+  [[nodiscard]] static double tail_integral_numeric(
+      double bid, double inverse_bid_sum_rest, double arrival_rate,
+      double tol = 1e-10);
+
+ protected:
+  void fill_payments(const model::LatencyFamily& family, double arrival_rate,
+                     const model::BidProfile& profile,
+                     const model::Allocation& x,
+                     std::vector<AgentOutcome>& outcomes) const override;
+};
+
+}  // namespace lbmv::core

@@ -1,0 +1,172 @@
+#include "lbmv/core/audit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lbmv/util/error.h"
+#include "lbmv/util/thread_pool.h"
+
+namespace lbmv::core {
+
+bool AuditReport::truthful_dominant(double tol) const {
+  const double scale = std::max(1.0, std::fabs(truthful_utility));
+  return max_gain <= tol * scale;
+}
+
+AuditReport TruthfulnessAuditor::audit_agent(const model::SystemConfig& config,
+                                             std::size_t agent,
+                                             const AuditOptions& options) const {
+  return audit_agent(config, agent, model::BidProfile::truthful(config),
+                     options);
+}
+
+AuditReport TruthfulnessAuditor::audit_agent(const model::SystemConfig& config,
+                                             std::size_t agent,
+                                             const model::BidProfile& base,
+                                             const AuditOptions& options) const {
+  LBMV_REQUIRE(agent < config.size(), "agent index out of range");
+  base.validate(config.size());
+  for (double em : options.exec_multipliers) {
+    LBMV_REQUIRE(em >= 1.0,
+                 "execution multipliers must be >= 1: agents cannot execute "
+                 "faster than their true capacity");
+  }
+  LBMV_REQUIRE(!options.bid_multipliers.empty() &&
+                   !options.exec_multipliers.empty(),
+               "audit grids must be non-empty");
+
+  const double truth = config.true_value(agent);
+  auto evaluate = [&](double bid_mult, double exec_mult) {
+    model::BidProfile profile = base;
+    profile.bids[agent] = truth * bid_mult;
+    profile.executions[agent] = truth * exec_mult;
+    const MechanismOutcome outcome = mechanism_->run(config, profile);
+    return outcome.agents[agent].utility;
+  };
+
+  AuditReport report;
+  report.agent = agent;
+  report.truthful_utility = evaluate(1.0, 1.0);
+
+  const std::size_t nb = options.bid_multipliers.size();
+  const std::size_t ne = options.exec_multipliers.size();
+  std::vector<Deviation> grid(nb * ne);
+  auto body = [&](std::size_t k) {
+    const double bm = options.bid_multipliers[k / ne];
+    const double em = options.exec_multipliers[k % ne];
+    grid[k] = Deviation{bm, em, evaluate(bm, em)};
+  };
+  if (options.parallel) {
+    util::parallel_for(0, grid.size(), body);
+  } else {
+    for (std::size_t k = 0; k < grid.size(); ++k) body(k);
+  }
+
+  report.best = grid.front();
+  for (const auto& d : grid) {
+    if (d.utility > report.best.utility) report.best = d;
+  }
+  report.max_gain = report.best.utility - report.truthful_utility;
+  if (options.keep_grid) report.grid = std::move(grid);
+  return report;
+}
+
+std::vector<AuditReport> TruthfulnessAuditor::audit_all(
+    const model::SystemConfig& config, const AuditOptions& options) const {
+  std::vector<AuditReport> reports;
+  reports.reserve(config.size());
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    reports.push_back(audit_agent(config, i, options));
+  }
+  return reports;
+}
+
+bool CoalitionReport::coalition_proof(double tol) const {
+  const double scale = std::max(1.0, std::fabs(truthful_joint_utility));
+  return max_joint_gain <= tol * scale;
+}
+
+CoalitionReport CoalitionAuditor::audit_pair(const model::SystemConfig& config,
+                                             std::size_t agent_a,
+                                             std::size_t agent_b,
+                                             const AuditOptions& options) const {
+  LBMV_REQUIRE(agent_a < config.size() && agent_b < config.size(),
+               "agent index out of range");
+  LBMV_REQUIRE(agent_a != agent_b, "a coalition needs two distinct agents");
+  for (double em : options.exec_multipliers) {
+    LBMV_REQUIRE(em >= 1.0, "execution multipliers must be >= 1");
+  }
+  LBMV_REQUIRE(!options.bid_multipliers.empty() &&
+                   !options.exec_multipliers.empty(),
+               "audit grids must be non-empty");
+
+  const model::BidProfile base = model::BidProfile::truthful(config);
+  auto evaluate = [&](const CoalitionDeviation& d) {
+    model::BidProfile profile = base;
+    profile.bids[agent_a] = config.true_value(agent_a) * d.bid_mult_a;
+    profile.executions[agent_a] = config.true_value(agent_a) * d.exec_mult_a;
+    profile.bids[agent_b] = config.true_value(agent_b) * d.bid_mult_b;
+    profile.executions[agent_b] = config.true_value(agent_b) * d.exec_mult_b;
+    const MechanismOutcome outcome = mechanism_->run(config, profile);
+    return outcome.agents[agent_a].utility + outcome.agents[agent_b].utility;
+  };
+
+  CoalitionReport report;
+  report.agent_a = agent_a;
+  report.agent_b = agent_b;
+  report.truthful_joint_utility = evaluate(CoalitionDeviation{});
+
+  const auto& bids = options.bid_multipliers;
+  const auto& execs = options.exec_multipliers;
+  const std::size_t nb = bids.size();
+  const std::size_t ne = execs.size();
+  const std::size_t per_agent = nb * ne;
+  std::vector<CoalitionDeviation> grid(per_agent * per_agent);
+  auto body = [&](std::size_t k) {
+    const std::size_t ka = k / per_agent;
+    const std::size_t kb = k % per_agent;
+    CoalitionDeviation d;
+    d.bid_mult_a = bids[ka / ne];
+    d.exec_mult_a = execs[ka % ne];
+    d.bid_mult_b = bids[kb / ne];
+    d.exec_mult_b = execs[kb % ne];
+    d.joint_utility = evaluate(d);
+    grid[k] = d;
+  };
+  if (options.parallel) {
+    util::parallel_for(0, grid.size(), body);
+  } else {
+    for (std::size_t k = 0; k < grid.size(); ++k) body(k);
+  }
+
+  report.best = grid.front();
+  for (const auto& d : grid) {
+    if (d.joint_utility > report.best.joint_utility) report.best = d;
+  }
+  report.max_joint_gain =
+      report.best.joint_utility - report.truthful_joint_utility;
+  return report;
+}
+
+std::vector<double> truthful_utilities(const Mechanism& mechanism,
+                                       const model::SystemConfig& config) {
+  const MechanismOutcome outcome =
+      mechanism.run(config, model::BidProfile::truthful(config));
+  std::vector<double> utilities;
+  utilities.reserve(outcome.agents.size());
+  for (const auto& agent : outcome.agents) {
+    utilities.push_back(agent.utility);
+  }
+  return utilities;
+}
+
+bool voluntary_participation_holds(const Mechanism& mechanism,
+                                   const model::SystemConfig& config,
+                                   double tol) {
+  for (double u : truthful_utilities(mechanism, config)) {
+    if (u < -tol) return false;
+  }
+  return true;
+}
+
+}  // namespace lbmv::core

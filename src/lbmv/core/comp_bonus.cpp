@@ -1,0 +1,55 @@
+#include "lbmv/core/comp_bonus.h"
+
+#include "lbmv/util/error.h"
+
+namespace lbmv::core {
+
+CompBonusMechanism::CompBonusMechanism()
+    : CompBonusMechanism(default_allocator()) {}
+
+CompBonusMechanism::CompBonusMechanism(
+    std::shared_ptr<const alloc::Allocator> allocator,
+    CompensationBasis basis)
+    : Mechanism(std::move(allocator)), basis_(basis) {}
+
+std::string CompBonusMechanism::name() const {
+  return basis_ == CompensationBasis::kExecution
+             ? "comp-bonus"
+             : "comp-bonus(bid-compensation)";
+}
+
+void CompBonusMechanism::fill_payments(const model::LatencyFamily& family,
+                                       double arrival_rate,
+                                       const model::BidProfile& profile,
+                                       const model::Allocation& x,
+                                       std::vector<AgentOutcome>& outcomes)
+    const {
+  // Total latency actually measured, at the verified execution values.
+  const auto exec_latencies = [&] {
+    std::vector<std::unique_ptr<model::LatencyFunction>> fns;
+    fns.reserve(profile.size());
+    for (double e : profile.executions) fns.push_back(family.make(e));
+    return fns;
+  }();
+  const double actual_latency = model::total_latency(x, exec_latencies);
+
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    auto& agent = outcomes[i];
+    // Compensation: the agent's own cost term, at the chosen basis value.
+    const double basis_value = basis_ == CompensationBasis::kExecution
+                                   ? profile.executions[i]
+                                   : profile.bids[i];
+    agent.compensation =
+        (x[i] == 0.0) ? 0.0 : family.make(basis_value)->cost(x[i]);
+
+    // Bonus: optimal latency without agent i minus the verified latency.
+    const model::BidProfile rest = profile.without(i);
+    const double latency_without_i =
+        allocator().optimal_latency(family, rest.bids, arrival_rate);
+    agent.bonus = latency_without_i - actual_latency;
+
+    agent.payment = agent.compensation + agent.bonus;
+  }
+}
+
+}  // namespace lbmv::core

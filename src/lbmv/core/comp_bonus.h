@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file comp_bonus.h
+/// The paper's contribution: the compensation-and-bonus load balancing
+/// mechanism with verification (Definition 3.3).
+///
+/// Allocation: the PR algorithm on the reported bids b.
+/// Payment to agent i, handed after execution, P_i = C_i + B_i with
+///
+///   compensation  C_i(b, t~) = t~_i * x_i(b)^2
+///     — exactly the verified cost the agent incurred, so the agent's
+///       utility reduces to the bonus; and
+///
+///   bonus         B_i(b, t~) = L_{-i}(x_{-i}(b_{-i})) - L(x(b), t~)
+///     — the agent's contribution to reducing total latency: the optimal
+///       total latency when agent i is excluded, minus the total latency
+///       actually measured with it.
+///
+/// With U_i = B_i, truth-telling and full-capacity execution uniquely
+/// minimise L(x(b), t~) over the agent's own deviations, so the mechanism is
+/// truthful (Theorem 3.1) and the truthful utility
+/// L_{-i} - L* >= 0 gives voluntary participation (Theorem 3.2).
+///
+/// The implementation generalises beyond linear latencies: C_i is the
+/// verified cost x_i * l_i^{t~}(x_i) and L_{-i} is computed by the injected
+/// allocator, so the construction carries over to any family with an exact
+/// allocator (e.g. M/M/1 with MM1Allocator).
+
+#include <memory>
+#include <string>
+
+#include "lbmv/core/mechanism.h"
+
+namespace lbmv::core {
+
+/// Which type value the compensation term is evaluated at.
+///
+/// kExecution is the paper's Definition 3.3 (and the variant for which the
+/// truthfulness proof goes through).  kBid is the variant under which the
+/// paper's Low2 narrative — "the payment given to C1 is negative" — actually
+/// holds numerically; shipped for the ablation study documented in
+/// DESIGN.md/EXPERIMENTS.md, *not* as a truthful mechanism.
+enum class CompensationBasis {
+  kExecution,  ///< C_i = t~_i * x_i^2  (Definition 3.3)
+  kBid,        ///< C_i = b_i  * x_i^2  (ablation variant)
+};
+
+/// The load balancing mechanism with verification.
+class CompBonusMechanism final : public Mechanism {
+ public:
+  /// Build with the PR allocator (the paper's setting).
+  CompBonusMechanism();
+
+  /// Build with an explicit allocator (e.g. ConvexAllocator for non-linear
+  /// families) and compensation basis.
+  explicit CompBonusMechanism(
+      std::shared_ptr<const alloc::Allocator> allocator,
+      CompensationBasis basis = CompensationBasis::kExecution);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool uses_verification() const override { return true; }
+  [[nodiscard]] CompensationBasis basis() const { return basis_; }
+
+ protected:
+  void fill_payments(const model::LatencyFamily& family, double arrival_rate,
+                     const model::BidProfile& profile,
+                     const model::Allocation& x,
+                     std::vector<AgentOutcome>& outcomes) const override;
+
+ private:
+  CompensationBasis basis_;
+};
+
+}  // namespace lbmv::core

@@ -1,0 +1,62 @@
+#include "lbmv/core/frugality.h"
+
+#include <cmath>
+#include <limits>
+
+#include "lbmv/util/error.h"
+
+namespace lbmv::core {
+
+double FrugalityReport::ratio() const {
+  if (total_valuation == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return total_payment / total_valuation;
+}
+
+FrugalityReport frugality_of(const MechanismOutcome& outcome) {
+  FrugalityReport report;
+  report.total_payment = outcome.total_payment();
+  report.total_valuation = outcome.total_valuation_magnitude();
+  return report;
+}
+
+std::vector<FrugalitySweepPoint> frugality_arrival_sweep(
+    const Mechanism& mechanism, const model::SystemConfig& config,
+    std::span<const double> rates) {
+  std::vector<FrugalitySweepPoint> points;
+  points.reserve(rates.size());
+  for (double rate : rates) {
+    LBMV_REQUIRE(rate > 0.0, "swept arrival rates must be positive");
+    const model::SystemConfig scaled = config.with_arrival_rate(rate);
+    const MechanismOutcome outcome =
+        mechanism.run(scaled, model::BidProfile::truthful(scaled));
+    points.push_back({rate, frugality_of(outcome)});
+  }
+  return points;
+}
+
+std::vector<FrugalitySweepPoint> frugality_heterogeneity_sweep(
+    const Mechanism& mechanism, std::size_t n, double arrival_rate,
+    std::span<const double> spreads) {
+  LBMV_REQUIRE(n >= 2, "need at least two computers");
+  std::vector<FrugalitySweepPoint> points;
+  points.reserve(spreads.size());
+  for (double spread : spreads) {
+    LBMV_REQUIRE(spread >= 1.0, "spread must be >= 1");
+    std::vector<double> types(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double frac =
+          (n == 1) ? 0.0
+                   : static_cast<double>(i) / static_cast<double>(n - 1);
+      types[i] = std::pow(spread, frac);  // geometric spacing in [1, spread]
+    }
+    const model::SystemConfig config(std::move(types), arrival_rate);
+    const MechanismOutcome outcome =
+        mechanism.run(config, model::BidProfile::truthful(config));
+    points.push_back({spread, frugality_of(outcome)});
+  }
+  return points;
+}
+
+}  // namespace lbmv::core

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file frugality.h
+/// Frugality analysis of mechanism payments (paper §4, Figure 6).
+///
+/// A mechanism is frugal when it buys truthfulness cheaply.  The paper
+/// measures the total payment handed to the computers against the total
+/// (magnitude of) valuation and reports that the compensation-and-bonus
+/// mechanism pays at most ~2.5x the total valuation on its testbed, with
+/// the total valuation as the lower bound implied by voluntary
+/// participation.
+
+#include <span>
+#include <vector>
+
+#include "lbmv/core/mechanism.h"
+#include "lbmv/model/system_config.h"
+
+namespace lbmv::core {
+
+/// Payment-vs-valuation summary of one mechanism round.
+struct FrugalityReport {
+  double total_payment = 0.0;
+  double total_valuation = 0.0;  ///< sum_i |V_i|
+  /// total_payment / total_valuation (the paper's frugality measure);
+  /// +inf when the valuation is zero.
+  [[nodiscard]] double ratio() const;
+};
+
+/// Summarise an already-computed outcome.
+[[nodiscard]] FrugalityReport frugality_of(const MechanismOutcome& outcome);
+
+/// Frugality at the truthful profile for each arrival rate in \p rates.
+struct FrugalitySweepPoint {
+  double parameter = 0.0;  ///< the swept quantity (rate or spread)
+  FrugalityReport report;
+};
+[[nodiscard]] std::vector<FrugalitySweepPoint> frugality_arrival_sweep(
+    const Mechanism& mechanism, const model::SystemConfig& config,
+    std::span<const double> rates);
+
+/// Frugality as heterogeneity grows: for each spread s, build a system of
+/// \p n computers with true values geometrically spaced in [1, s] and
+/// measure the truthful-profile frugality.
+[[nodiscard]] std::vector<FrugalitySweepPoint> frugality_heterogeneity_sweep(
+    const Mechanism& mechanism, std::size_t n, double arrival_rate,
+    std::span<const double> spreads);
+
+}  // namespace lbmv::core

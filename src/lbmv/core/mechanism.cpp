@@ -1,0 +1,85 @@
+#include "lbmv/core/mechanism.h"
+
+#include <cmath>
+
+#include "lbmv/alloc/pr_allocator.h"
+#include "lbmv/util/error.h"
+
+namespace lbmv::core {
+
+double MechanismOutcome::total_payment() const {
+  double s = 0.0;
+  for (const auto& a : agents) s += a.payment;
+  return s;
+}
+
+double MechanismOutcome::total_valuation_magnitude() const {
+  double s = 0.0;
+  for (const auto& a : agents) s += std::fabs(a.valuation);
+  return s;
+}
+
+Mechanism::Mechanism(std::shared_ptr<const alloc::Allocator> allocator)
+    : allocator_(std::move(allocator)) {
+  LBMV_REQUIRE(allocator_ != nullptr, "mechanism requires an allocator");
+}
+
+MechanismOutcome Mechanism::run(const model::LatencyFamily& family,
+                                double arrival_rate,
+                                const model::BidProfile& profile) const {
+  LBMV_REQUIRE(profile.size() >= 2,
+               "mechanisms require at least two agents");
+  profile.validate(profile.size());
+  LBMV_REQUIRE(arrival_rate > 0.0, "arrival rate must be positive");
+
+  MechanismOutcome outcome;
+  outcome.allocation =
+      allocator_->allocate(family, profile.bids, arrival_rate);
+
+  const auto exec_latencies = [&] {
+    std::vector<std::unique_ptr<model::LatencyFunction>> fns;
+    fns.reserve(profile.size());
+    for (double e : profile.executions) fns.push_back(family.make(e));
+    return fns;
+  }();
+  const auto bid_latencies = [&] {
+    std::vector<std::unique_ptr<model::LatencyFunction>> fns;
+    fns.reserve(profile.size());
+    for (double b : profile.bids) fns.push_back(family.make(b));
+    return fns;
+  }();
+
+  outcome.actual_latency =
+      model::total_latency(outcome.allocation, exec_latencies);
+  outcome.reported_latency =
+      model::total_latency(outcome.allocation, bid_latencies);
+
+  outcome.agents.resize(profile.size());
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    auto& agent = outcome.agents[i];
+    agent.allocation = outcome.allocation[i];
+    const double cost = (agent.allocation == 0.0)
+                            ? 0.0
+                            : exec_latencies[i]->cost(agent.allocation);
+    agent.valuation = -cost;
+  }
+
+  fill_payments(family, arrival_rate, profile, outcome.allocation,
+                outcome.agents);
+
+  for (auto& agent : outcome.agents) {
+    agent.utility = agent.payment + agent.valuation;
+  }
+  return outcome;
+}
+
+MechanismOutcome Mechanism::run(const model::SystemConfig& config,
+                                const model::BidProfile& profile) const {
+  return run(config.family(), config.arrival_rate(), profile);
+}
+
+std::shared_ptr<const alloc::Allocator> default_allocator() {
+  return std::make_shared<alloc::PRAllocator>();
+}
+
+}  // namespace lbmv::core

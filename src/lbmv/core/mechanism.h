@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file mechanism.h
+/// Mechanism-design framework for the load balancing problem.
+///
+/// Formalises the paper's Definition 3.1/3.2.  A mechanism is a pair of
+/// functions: an allocation rule x(b) computed from the agents' bids, and a
+/// payment rule P(b, t~) handed to the agents — *after* job execution for
+/// mechanisms with verification, so the payment may depend on the observed
+/// execution values t~.
+///
+/// Agent i's valuation is the negation of its latency at the rate it was
+/// assigned, V_i = -t~_i * x_i^2 in the linear model (generally
+/// -x_i * l_i^{t~}(x_i)), and its utility is U_i = P_i + V_i.  Mechanisms
+/// never read the agents' true types; everything they see is the bid profile
+/// and the verified execution values.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lbmv/alloc/allocator.h"
+#include "lbmv/model/allocation.h"
+#include "lbmv/model/bids.h"
+#include "lbmv/model/latency.h"
+#include "lbmv/model/system_config.h"
+
+namespace lbmv::core {
+
+/// Economic outcome for a single agent in one mechanism round.
+struct AgentOutcome {
+  double allocation = 0.0;    ///< x_i, the job rate assigned to the agent
+  double compensation = 0.0;  ///< C_i (0 for mechanisms without the term)
+  double bonus = 0.0;         ///< B_i (0 for mechanisms without the term)
+  double payment = 0.0;       ///< P_i handed to the agent
+  double valuation = 0.0;     ///< V_i = -(agent's verified latency cost)
+  double utility = 0.0;       ///< U_i = P_i + V_i
+};
+
+/// Full outcome of one mechanism round.
+struct MechanismOutcome {
+  model::Allocation allocation;
+  std::vector<AgentOutcome> agents;
+  /// L(x(b), t~): total latency actually incurred, at the execution values.
+  double actual_latency = 0.0;
+  /// L(x(b), b): total latency the bids predict (what an obedient system
+  /// would believe).
+  double reported_latency = 0.0;
+
+  [[nodiscard]] double total_payment() const;
+  /// Sum of |V_i| — the denominator of the paper's frugality measure.
+  [[nodiscard]] double total_valuation_magnitude() const;
+};
+
+/// Base class for load balancing mechanisms (Definition 3.2).
+class Mechanism {
+ public:
+  explicit Mechanism(std::shared_ptr<const alloc::Allocator> allocator);
+  virtual ~Mechanism() = default;
+
+  /// Run one round: allocate from the bids, evaluate the verified execution,
+  /// compute payments and per-agent utilities.
+  ///
+  /// Requires at least two agents (marginal-contribution payments remove one
+  /// agent at a time) and a validated profile.
+  [[nodiscard]] MechanismOutcome run(const model::LatencyFamily& family,
+                                     double arrival_rate,
+                                     const model::BidProfile& profile) const;
+
+  /// Convenience overload reading family and arrival rate from a config.
+  /// The config's true values are *not* consulted.
+  [[nodiscard]] MechanismOutcome run(const model::SystemConfig& config,
+                                     const model::BidProfile& profile) const;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Whether the payment rule observes execution values (a "mechanism with
+  /// verification", paper Definition 3.2) — if false, payments depend on the
+  /// bids alone and slow execution goes unpunished.
+  [[nodiscard]] virtual bool uses_verification() const = 0;
+
+  [[nodiscard]] const alloc::Allocator& allocator() const {
+    return *allocator_;
+  }
+
+ protected:
+  /// Fill compensation / bonus / payment for every agent.  \p outcomes
+  /// arrives with allocation and valuation already set.
+  virtual void fill_payments(const model::LatencyFamily& family,
+                             double arrival_rate,
+                             const model::BidProfile& profile,
+                             const model::Allocation& x,
+                             std::vector<AgentOutcome>& outcomes) const = 0;
+
+ private:
+  std::shared_ptr<const alloc::Allocator> allocator_;
+};
+
+/// The default allocation rule used throughout the paper: the PR algorithm.
+[[nodiscard]] std::shared_ptr<const alloc::Allocator> default_allocator();
+
+}  // namespace lbmv::core

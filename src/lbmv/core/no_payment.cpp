@@ -1,0 +1,24 @@
+#include "lbmv/core/no_payment.h"
+
+namespace lbmv::core {
+
+NoPaymentMechanism::NoPaymentMechanism()
+    : NoPaymentMechanism(default_allocator()) {}
+
+NoPaymentMechanism::NoPaymentMechanism(
+    std::shared_ptr<const alloc::Allocator> allocator)
+    : Mechanism(std::move(allocator)) {}
+
+void NoPaymentMechanism::fill_payments(const model::LatencyFamily&, double,
+                                       const model::BidProfile&,
+                                       const model::Allocation&,
+                                       std::vector<AgentOutcome>& outcomes)
+    const {
+  for (auto& agent : outcomes) {
+    agent.compensation = 0.0;
+    agent.bonus = 0.0;
+    agent.payment = 0.0;
+  }
+}
+
+}  // namespace lbmv::core

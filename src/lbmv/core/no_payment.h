@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file no_payment.h
+/// The classical, payment-free protocol — the paper's motivating baseline.
+///
+/// Traditional load balancing assumes obedient participants: the scheduler
+/// asks every computer for its speed, runs the PR algorithm, and pays
+/// nothing.  With selfish agents this collapses: an agent's utility is just
+/// its (negative) latency cost -t~_i x_i^2, so every agent prefers *fewer*
+/// jobs and overbidding (pretending to be slow) strictly raises its utility
+/// while degrading the system optimum.  The dynamics bench (A5) and the
+/// verification ablation (A3) quantify the collapse.
+
+#include <string>
+
+#include "lbmv/core/mechanism.h"
+
+namespace lbmv::core {
+
+/// PR allocation from the bids; all payments identically zero.
+class NoPaymentMechanism final : public Mechanism {
+ public:
+  NoPaymentMechanism();
+  explicit NoPaymentMechanism(
+      std::shared_ptr<const alloc::Allocator> allocator);
+
+  [[nodiscard]] std::string name() const override { return "no-payment"; }
+  [[nodiscard]] bool uses_verification() const override { return false; }
+
+ protected:
+  void fill_payments(const model::LatencyFamily& family, double arrival_rate,
+                     const model::BidProfile& profile,
+                     const model::Allocation& x,
+                     std::vector<AgentOutcome>& outcomes) const override;
+};
+
+}  // namespace lbmv::core

@@ -1,0 +1,46 @@
+#include "lbmv/core/vcg.h"
+
+namespace lbmv::core {
+
+VcgMechanism::VcgMechanism() : VcgMechanism(default_allocator()) {}
+
+VcgMechanism::VcgMechanism(std::shared_ptr<const alloc::Allocator> allocator)
+    : Mechanism(std::move(allocator)) {}
+
+void VcgMechanism::fill_payments(const model::LatencyFamily& family,
+                                 double arrival_rate,
+                                 const model::BidProfile& profile,
+                                 const model::Allocation& x,
+                                 std::vector<AgentOutcome>& outcomes) const {
+  // All terms below use the *bids*: VCG never sees execution values.
+  const auto bid_latencies = [&] {
+    std::vector<std::unique_ptr<model::LatencyFunction>> fns;
+    fns.reserve(profile.size());
+    for (double b : profile.bids) fns.push_back(family.make(b));
+    return fns;
+  }();
+
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    auto& agent = outcomes[i];
+    // Reported cost of everybody else under the chosen allocation.
+    double others_cost = 0.0;
+    for (std::size_t j = 0; j < profile.size(); ++j) {
+      if (j == i || x[j] == 0.0) continue;
+      others_cost += bid_latencies[j]->cost(x[j]);
+    }
+    const model::BidProfile rest = profile.without(i);
+    const double latency_without_i =
+        allocator().optimal_latency(family, rest.bids, arrival_rate);
+
+    // Clarke pivot; for bookkeeping we expose the pivot as "bonus" and the
+    // agent's own reported cost as "compensation", mirroring the fact that
+    // P_i = c_i(b) + (L_{-i} - L(b)).
+    const double own_reported_cost =
+        (x[i] == 0.0) ? 0.0 : bid_latencies[i]->cost(x[i]);
+    agent.compensation = own_reported_cost;
+    agent.bonus = latency_without_i - (others_cost + own_reported_cost);
+    agent.payment = latency_without_i - others_cost;
+  }
+}
+
+}  // namespace lbmv::core

@@ -1,0 +1,46 @@
+#include "lbmv/dist/network.h"
+
+#include <utility>
+
+#include "lbmv/util/error.h"
+
+namespace lbmv::dist {
+
+Network::Network(sim::Simulation& sim, std::size_t node_count)
+    : Network(sim, node_count, Options{}) {}
+
+Network::Network(sim::Simulation& sim, std::size_t node_count,
+                 const Options& options)
+    : sim_(&sim),
+      handlers_(node_count),
+      rng_(options.seed),
+      options_(options) {
+  LBMV_REQUIRE(node_count > 0, "network needs at least one node");
+  LBMV_REQUIRE(options.base_delay >= 0.0 && options.per_double_delay >= 0.0 &&
+                   options.jitter >= 0.0,
+               "network delays must be non-negative");
+}
+
+void Network::set_handler(NodeId node, Handler handler) {
+  LBMV_REQUIRE(node < handlers_.size(), "node id out of range");
+  handlers_[node] = std::move(handler);
+}
+
+void Network::send(Message msg) {
+  LBMV_REQUIRE(msg.from < handlers_.size() && msg.to < handlers_.size(),
+               "message endpoints out of range");
+  ++messages_;
+  doubles_ += msg.payload.size();
+  ++by_type_[msg.type];
+  double delay = options_.base_delay +
+                 options_.per_double_delay *
+                     static_cast<double>(msg.payload.size());
+  if (options_.jitter > 0.0) delay += rng_.uniform(0.0, options_.jitter);
+  sim_->schedule_after(delay, [this, m = std::move(msg)] {
+    LBMV_REQUIRE(handlers_[m.to] != nullptr,
+                 "message delivered to a node without a handler");
+    handlers_[m.to](m);
+  });
+}
+
+}  // namespace lbmv::dist

@@ -1,0 +1,52 @@
+#include "lbmv/dist/private_sum.h"
+
+#include <cmath>
+
+#include "lbmv/util/error.h"
+
+namespace lbmv::dist {
+
+std::uint64_t FixedPoint::encode(double value) {
+  LBMV_REQUIRE(std::isfinite(value), "cannot encode a non-finite value");
+  const double scaled = value * kScale;
+  LBMV_REQUIRE(std::fabs(scaled) < 4.6e18,  // < 2^62, headroom for sums
+               "value out of fixed-point range");
+  const auto as_signed = static_cast<std::int64_t>(std::llround(scaled));
+  return static_cast<std::uint64_t>(as_signed);
+}
+
+double FixedPoint::decode(std::uint64_t encoded) {
+  const auto as_signed = static_cast<std::int64_t>(encoded);
+  return static_cast<double>(as_signed) / kScale;
+}
+
+std::vector<std::uint64_t> make_shares(double value, std::size_t parties,
+                                       util::Rng& rng) {
+  LBMV_REQUIRE(parties >= 1, "need at least one share");
+  std::vector<std::uint64_t> shares(parties);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i + 1 < parties; ++i) {
+    // Uniform over the full ring: two 32-bit halves from the engine.
+    const std::uint64_t hi = static_cast<std::uint64_t>(
+        rng.uniform_int(0, 0xffffffffll));
+    const std::uint64_t lo = static_cast<std::uint64_t>(
+        rng.uniform_int(0, 0xffffffffll));
+    shares[i] = (hi << 32) | lo;
+    acc += shares[i];  // wraps mod 2^64 by construction
+  }
+  shares[parties - 1] = FixedPoint::encode(value) - acc;  // ring inverse
+  return shares;
+}
+
+std::uint64_t combine_shares(const std::vector<std::uint64_t>& shares) {
+  std::uint64_t acc = 0;
+  for (std::uint64_t s : shares) acc += s;  // mod 2^64
+  return acc;
+}
+
+double reconstruct(const std::vector<std::uint64_t>& shares) {
+  LBMV_REQUIRE(!shares.empty(), "cannot reconstruct from zero shares");
+  return FixedPoint::decode(combine_shares(shares));
+}
+
+}  // namespace lbmv::dist

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file private_sum.h
+/// Additive secret sharing over Z_{2^64} for privacy-preserving aggregation.
+///
+/// The paper's second future-work item is "the agents' privacy": computers
+/// may not want to reveal their speeds (bids) to anyone.  For the linear
+/// family the whole mechanism is computable from *sums*:
+///   * S = sum_j 1/b_j determines every allocation (x_i = R (1/b_i)/S, which
+///     agent i computes locally) and every leave-one-out optimum
+///     (L_{-i} = R^2 / (S - 1/b_i)), and
+///   * L_actual = sum_j t~_j x_j^2 determines every bonus.
+/// So the only primitive privacy needs is a *private sum*: each agent splits
+/// its value into n additive shares, hands share j to agent j, and only the
+/// total ever becomes public.  Any strict subset of shares is uniformly
+/// distributed and reveals nothing (information-theoretic secrecy over the
+/// ring).
+///
+/// Values are fixed-point encoded (scale 1e9) into the ring Z_{2^64}, so
+/// reconstruction is *exact* — no floating-point drift across shares.
+
+#include <cstdint>
+#include <vector>
+
+#include "lbmv/util/rng.h"
+
+namespace lbmv::dist {
+
+/// Fixed-point codec used by the sharing scheme.
+class FixedPoint {
+ public:
+  /// Scale: 1e9 fractional resolution; magnitudes up to ~9e9 fit signed.
+  static constexpr double kScale = 1e9;
+
+  /// Encode a real value; requires |value| < 2^62 / kScale.
+  [[nodiscard]] static std::uint64_t encode(double value);
+
+  /// Decode a ring element back to a real value (two's-complement
+  /// interpretation).
+  [[nodiscard]] static double decode(std::uint64_t encoded);
+};
+
+/// Split \p value into \p parties additive shares over Z_{2^64}.
+/// All but the last share are uniform; the last makes the ring sum equal
+/// the encoding of value.  Requires parties >= 1.
+[[nodiscard]] std::vector<std::uint64_t> make_shares(double value,
+                                                     std::size_t parties,
+                                                     util::Rng& rng);
+
+/// Ring sum of shares (mod 2^64).
+[[nodiscard]] std::uint64_t combine_shares(
+    const std::vector<std::uint64_t>& shares);
+
+/// Reconstruct the real value from all shares of one secret, or from the
+/// ring sums of shares across *many* secrets (additivity: the decoded
+/// combined sum of everyone's share-sums is the sum of everyone's values).
+[[nodiscard]] double reconstruct(const std::vector<std::uint64_t>& shares);
+
+}  // namespace lbmv::dist

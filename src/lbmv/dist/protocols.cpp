@@ -1,0 +1,488 @@
+#include "lbmv/dist/protocols.h"
+
+#include <cmath>
+
+#include "lbmv/dist/private_sum.h"
+#include "lbmv/util/error.h"
+
+namespace lbmv::dist {
+namespace {
+
+/// Shared closed forms (linear family only).
+struct LinearMath {
+  double arrival_rate;
+
+  [[nodiscard]] double allocation(double own_inverse_bid,
+                                  double inverse_sum) const {
+    return arrival_rate * own_inverse_bid / inverse_sum;
+  }
+  [[nodiscard]] double leave_one_out(double own_inverse_bid,
+                                     double inverse_sum) const {
+    return arrival_rate * arrival_rate / (inverse_sum - own_inverse_bid);
+  }
+  [[nodiscard]] static double cost(double execution_value, double x) {
+    return execution_value * x * x;
+  }
+  [[nodiscard]] static double payment(double own_cost, double leave_one_out,
+                                      double actual_latency) {
+    return own_cost + leave_one_out - actual_latency;
+  }
+};
+
+/// Common scaffolding: simulation, network, report assembly.
+struct RoundContext {
+  const model::SystemConfig* config;
+  const model::BidProfile* intents;
+  DistOptions options;
+  LinearMath math;
+
+  sim::Simulation simulation;
+  std::unique_ptr<Network> network;
+
+  std::vector<double> allocations;
+  std::vector<double> payments;
+
+  explicit RoundContext(const model::SystemConfig& cfg,
+                        const model::BidProfile& profile,
+                        const DistOptions& opts, std::size_t node_count)
+      : config(&cfg),
+        intents(&profile),
+        options(opts),
+        math{cfg.arrival_rate()},
+        allocations(cfg.size(), 0.0),
+        payments(cfg.size(), 0.0) {
+    network = std::make_unique<Network>(simulation, node_count,
+                                        opts.network);
+  }
+
+  [[nodiscard]] std::size_t n() const { return config->size(); }
+  [[nodiscard]] double inverse_bid(std::size_t i) const {
+    return 1.0 / intents->bids[i];
+  }
+  [[nodiscard]] double verified_cost(std::size_t i) const {
+    return LinearMath::cost(intents->executions[i], allocations[i]);
+  }
+
+  [[nodiscard]] DistributedReport finish(Topology topology) {
+    DistributedReport report;
+    report.protocol = topology_name(topology);
+    report.allocation = model::Allocation(allocations);
+    report.payments = payments;
+    report.utilities.resize(n());
+    report.actual_latency = 0.0;
+    for (std::size_t i = 0; i < n(); ++i) {
+      const double cost = verified_cost(i);
+      report.actual_latency += cost;
+      report.utilities[i] = payments[i] - cost;
+    }
+    report.messages = network->messages_sent();
+    report.doubles_transferred = network->doubles_sent();
+    report.completion_time = simulation.now();
+    return report;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Star: the paper's centralised protocol.  Agents 0..n-1, coordinator n.
+
+DistributedReport run_star(RoundContext& ctx) {
+  const std::size_t n = ctx.n();
+  const NodeId coordinator = n;
+
+  struct CoordinatorState {
+    std::vector<double> bids;
+    std::size_t received = 0;
+  } coord;
+  coord.bids.assign(n, 0.0);
+
+  ctx.network->set_handler(coordinator, [&](const Message& msg) {
+    if (msg.type == "bid") {
+      coord.bids[msg.from] = msg.payload[0];
+      if (++coord.received < n) return;
+      // All bids in: allocate (PR algorithm) and assign.
+      double inverse_sum = 0.0;
+      for (double b : coord.bids) inverse_sum += 1.0 / b;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x = ctx.math.allocation(1.0 / coord.bids[i],
+                                             inverse_sum);
+        ctx.network->send({coordinator, i, "assign", {x}});
+      }
+      // Jobs execute; after the execution interval the coordinator has
+      // verified every execution value (oracle) and can pay.
+      ctx.simulation.schedule_after(ctx.options.execution_time, [&, n,
+                                                                 inverse_sum,
+                                                                 coordinator] {
+        double actual_latency = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          actual_latency += ctx.verified_cost(i);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double payment = LinearMath::payment(
+              ctx.verified_cost(i),
+              ctx.math.leave_one_out(1.0 / coord.bids[i], inverse_sum),
+              actual_latency);
+          ctx.network->send({coordinator, i, "payment", {payment}});
+        }
+      });
+    }
+  });
+
+  for (std::size_t i = 0; i < n; ++i) {
+    ctx.network->set_handler(i, [&, i](const Message& msg) {
+      if (msg.type == "assign") {
+        ctx.allocations[i] = msg.payload[0];
+      } else if (msg.type == "payment") {
+        ctx.payments[i] = msg.payload[0];
+      }
+    });
+    ctx.simulation.schedule(0.0, [&, i, coordinator] {
+      ctx.network->send({i, coordinator, "bid", {ctx.intents->bids[i]}});
+    });
+  }
+
+  ctx.simulation.run();
+  LBMV_ASSERT(coord.received == n, "star protocol lost bids");
+  return ctx.finish(Topology::kStar);
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast: full mesh, every agent computes every payment (auditable).
+
+DistributedReport run_broadcast(RoundContext& ctx) {
+  const std::size_t n = ctx.n();
+
+  struct AgentState {
+    std::vector<double> bids;
+    std::vector<double> costs;
+    std::size_t bids_seen = 0;
+    std::size_t costs_seen = 0;
+    double inverse_sum = 0.0;
+  };
+  std::vector<AgentState> agents(n);
+  for (auto& a : agents) {
+    a.bids.assign(n, 0.0);
+    a.costs.assign(n, 0.0);
+  }
+
+  auto on_all_bids = [&](std::size_t i) {
+    auto& a = agents[i];
+    for (double b : a.bids) a.inverse_sum += 1.0 / b;
+    ctx.allocations[i] = ctx.math.allocation(ctx.inverse_bid(i),
+                                             a.inverse_sum);
+    // Execute, then broadcast the verified cost.
+    ctx.simulation.schedule_after(ctx.options.execution_time, [&, i] {
+      const double cost = ctx.verified_cost(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        ctx.network->send({i, j, "cost", {cost}});
+      }
+      agents[i].costs[i] = cost;
+      if (++agents[i].costs_seen == n) {
+        double actual = 0.0;
+        for (double c : agents[i].costs) actual += c;
+        ctx.payments[i] = LinearMath::payment(
+            agents[i].costs[i],
+            ctx.math.leave_one_out(ctx.inverse_bid(i), agents[i].inverse_sum),
+            actual);
+      }
+    });
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    ctx.network->set_handler(i, [&, i](const Message& msg) {
+      auto& a = agents[i];
+      if (msg.type == "bid") {
+        a.bids[msg.from] = msg.payload[0];
+        if (++a.bids_seen == n) on_all_bids(i);
+      } else if (msg.type == "cost") {
+        a.costs[msg.from] = msg.payload[0];
+        if (++a.costs_seen == n) {
+          double actual = 0.0;
+          for (double c : a.costs) actual += c;
+          ctx.payments[i] = LinearMath::payment(
+              a.costs[i],
+              ctx.math.leave_one_out(ctx.inverse_bid(i), a.inverse_sum),
+              actual);
+        }
+      }
+    });
+    ctx.simulation.schedule(0.0, [&, i] {
+      auto& a = agents[i];
+      a.bids[i] = ctx.intents->bids[i];
+      if (++a.bids_seen == n) on_all_bids(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        ctx.network->send({i, j, "bid", {ctx.intents->bids[i]}});
+      }
+    });
+  }
+
+  ctx.simulation.run();
+  return ctx.finish(Topology::kBroadcast);
+}
+
+// ---------------------------------------------------------------------------
+// Tree: binary-tree aggregation, two up/down waves (bids, then costs).
+
+DistributedReport run_tree(RoundContext& ctx) {
+  const std::size_t n = ctx.n();
+  auto parent = [](std::size_t i) { return (i - 1) / 2; };
+  auto child_count = [n](std::size_t i) {
+    std::size_t count = 0;
+    if (2 * i + 1 < n) ++count;
+    if (2 * i + 2 < n) ++count;
+    return count;
+  };
+
+  struct AgentState {
+    double partial = 0.0;       ///< subtree partial sum (current wave)
+    std::size_t pending = 0;    ///< children not yet reported
+    double inverse_sum = 0.0;   ///< global S once known
+  };
+  std::vector<AgentState> agents(n);
+
+  // Wave machinery: value_of(i) supplies the local addend, on_total(i, T)
+  // consumes the globally broadcast total.  Tags distinguish the waves.
+  struct Wave {
+    std::string up, down;
+    std::function<double(std::size_t)> value_of;
+    std::function<void(std::size_t, double)> on_total;
+  };
+  std::vector<Wave> waves(2);
+  auto start_wave = [&](std::size_t w) {
+    for (std::size_t i = 0; i < n; ++i) {
+      agents[i].pending = child_count(i);
+      agents[i].partial = waves[w].value_of(i);
+      if (agents[i].pending == 0 && i != 0) {
+        ctx.network->send({i, parent(i), waves[w].up, {agents[i].partial}});
+      }
+    }
+    if (n == 1 || child_count(0) == 0) {
+      waves[w].on_total(0, agents[0].partial);
+    }
+  };
+
+  waves[0].up = "sum_bid_up";
+  waves[0].down = "sum_bid_down";
+  waves[0].value_of = [&](std::size_t i) { return ctx.inverse_bid(i); };
+  waves[0].on_total = [&](std::size_t i, double total) {
+    agents[i].inverse_sum = total;
+    ctx.allocations[i] = ctx.math.allocation(ctx.inverse_bid(i), total);
+    for (std::size_t c : {2 * i + 1, 2 * i + 2}) {
+      if (c < n) ctx.network->send({i, c, waves[0].down, {total}});
+    }
+    // The execution interval is anchored once per round, at the root; the
+    // down-wave reaches every node long before it elapses.
+    if (i == 0) {
+      ctx.simulation.schedule_after(ctx.options.execution_time,
+                                    [&] { start_wave(1); });
+    }
+  };
+
+  waves[1].up = "sum_cost_up";
+  waves[1].down = "sum_cost_down";
+  waves[1].value_of = [&](std::size_t i) { return ctx.verified_cost(i); };
+  waves[1].on_total = [&](std::size_t i, double total) {
+    ctx.payments[i] = LinearMath::payment(
+        ctx.verified_cost(i),
+        ctx.math.leave_one_out(ctx.inverse_bid(i), agents[i].inverse_sum),
+        total);
+    for (std::size_t c : {2 * i + 1, 2 * i + 2}) {
+      if (c < n) ctx.network->send({i, c, waves[1].down, {total}});
+    }
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    ctx.network->set_handler(i, [&, i](const Message& msg) {
+      for (std::size_t w = 0; w < 2; ++w) {
+        if (msg.type == waves[w].up) {
+          agents[i].partial += msg.payload[0];
+          if (--agents[i].pending == 0) {
+            if (i == 0) {
+              waves[w].on_total(0, agents[0].partial);
+            } else {
+              ctx.network->send(
+                  {i, parent(i), waves[w].up, {agents[i].partial}});
+            }
+          }
+        } else if (msg.type == waves[w].down) {
+          waves[w].on_total(i, msg.payload[0]);
+        }
+      }
+    });
+  }
+  ctx.simulation.schedule(0.0, [&] { start_wave(0); });
+
+  ctx.simulation.run();
+  return ctx.finish(Topology::kTree);
+}
+
+// ---------------------------------------------------------------------------
+// Private: full mesh + additive secret sharing of both aggregation rounds.
+
+/// Ring elements must cross the (double-typed) network losslessly: split
+/// into two exactly representable 32-bit halves.
+std::vector<double> pack_ring(std::uint64_t value) {
+  return {static_cast<double>(value >> 32),
+          static_cast<double>(value & 0xffffffffull)};
+}
+
+std::uint64_t unpack_ring(const std::vector<double>& payload) {
+  LBMV_ASSERT(payload.size() == 2, "ring payload must carry two halves");
+  return (static_cast<std::uint64_t>(payload[0]) << 32) |
+         static_cast<std::uint64_t>(payload[1]);
+}
+
+DistributedReport run_private(RoundContext& ctx) {
+  const std::size_t n = ctx.n();
+
+  struct AgentState {
+    util::Rng rng{0};
+    std::uint64_t share_acc = 0;       ///< ring sum of received shares
+    std::size_t shares_seen = 0;
+    std::vector<std::uint64_t> partials;
+    std::size_t partials_seen = 0;
+    double inverse_sum = 0.0;
+  };
+  std::vector<AgentState> agents(n);
+  util::Rng root_rng(ctx.options.network.seed ^ 0xabcdefull);
+  for (std::size_t i = 0; i < n; ++i) {
+    agents[i].rng = root_rng.split(i + 1);
+    agents[i].partials.assign(n, 0);
+  }
+
+  // One private-sum round: each agent shares value_of(i) across all n
+  // agents; partial ring-sums are broadcast; everyone reconstructs the
+  // total and calls on_total.  Message tags carry the round name.
+  struct Round {
+    std::string share, partial;
+    std::function<double(std::size_t)> value_of;
+    std::function<void(std::size_t, double)> on_total;
+  };
+  std::vector<Round> rounds(2);
+
+  auto start_round = [&](std::size_t r) {
+    for (auto& a : agents) {
+      a.share_acc = 0;
+      a.shares_seen = 0;
+      a.partials_seen = 0;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto shares =
+          make_shares(rounds[r].value_of(i), n, agents[i].rng);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) {
+          agents[i].share_acc += shares[j];
+          ++agents[i].shares_seen;
+        } else {
+          ctx.network->send(
+              {i, j, rounds[r].share, pack_ring(shares[j])});
+        }
+      }
+    }
+  };
+  auto handle = [&](std::size_t i, std::size_t r, const Message& msg) {
+    auto& a = agents[i];
+    if (msg.type == rounds[r].share) {
+      a.share_acc += unpack_ring(msg.payload);
+      if (++a.shares_seen == n) {
+        a.partials[i] = a.share_acc;
+        if (++a.partials_seen == n) {
+          rounds[r].on_total(i, reconstruct(a.partials));
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j != i) {
+            ctx.network->send(
+                {i, j, rounds[r].partial, pack_ring(a.share_acc)});
+          }
+        }
+      }
+    } else if (msg.type == rounds[r].partial) {
+      a.partials[msg.from] = unpack_ring(msg.payload);
+      if (++a.partials_seen == n) {
+        rounds[r].on_total(i, reconstruct(a.partials));
+      }
+    }
+  };
+
+  rounds[0].share = "bid_share";
+  rounds[0].partial = "bid_partial";
+  rounds[0].value_of = [&](std::size_t i) { return ctx.inverse_bid(i); };
+  rounds[0].on_total = [&](std::size_t i, double total) {
+    agents[i].inverse_sum = total;
+    ctx.allocations[i] = ctx.math.allocation(ctx.inverse_bid(i), total);
+    if (i == 0) {
+      ctx.simulation.schedule_after(ctx.options.execution_time,
+                                    [&] { start_round(1); });
+    }
+  };
+  rounds[1].share = "cost_share";
+  rounds[1].partial = "cost_partial";
+  rounds[1].value_of = [&](std::size_t i) { return ctx.verified_cost(i); };
+  rounds[1].on_total = [&](std::size_t i, double total) {
+    ctx.payments[i] = LinearMath::payment(
+        ctx.verified_cost(i),
+        ctx.math.leave_one_out(ctx.inverse_bid(i), agents[i].inverse_sum),
+        total);
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    ctx.network->set_handler(i, [&, i](const Message& msg) {
+      const std::size_t r =
+          (msg.type == "bid_share" || msg.type == "bid_partial") ? 0 : 1;
+      handle(i, r, msg);
+    });
+  }
+  ctx.simulation.schedule(0.0, [&] { start_round(0); });
+
+  ctx.simulation.run();
+  return ctx.finish(Topology::kPrivate);
+}
+
+}  // namespace
+
+std::string topology_name(Topology topology) {
+  switch (topology) {
+    case Topology::kStar:
+      return "star";
+    case Topology::kBroadcast:
+      return "broadcast";
+    case Topology::kTree:
+      return "tree";
+    case Topology::kPrivate:
+      return "private";
+  }
+  LBMV_ASSERT(false, "unknown topology");
+  return {};
+}
+
+DistributedReport run_distributed_round(Topology topology,
+                                        const model::SystemConfig& config,
+                                        const model::BidProfile& intents,
+                                        const DistOptions& options) {
+  LBMV_REQUIRE(
+      dynamic_cast<const model::LinearFamily*>(&config.family()) != nullptr,
+      "distributed protocols rely on the linear family's closed forms");
+  LBMV_REQUIRE(config.size() >= 2, "distributed round needs >= 2 agents");
+  LBMV_REQUIRE(options.execution_time > 0.0,
+               "execution time must be positive");
+  intents.validate(config.size());
+
+  const std::size_t nodes =
+      topology == Topology::kStar ? config.size() + 1 : config.size();
+  RoundContext ctx(config, intents, options, nodes);
+  switch (topology) {
+    case Topology::kStar:
+      return run_star(ctx);
+    case Topology::kBroadcast:
+      return run_broadcast(ctx);
+    case Topology::kTree:
+      return run_tree(ctx);
+    case Topology::kPrivate:
+      return run_private(ctx);
+  }
+  LBMV_ASSERT(false, "unknown topology");
+  return {};
+}
+
+}  // namespace lbmv::dist

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file protocols.h
+/// Distributed deployments of the load balancing mechanism with
+/// verification — the paper's future work ("distributed handling of
+/// payments and the agents' privacy") made concrete.
+///
+/// All four protocols compute *exactly* the centralised mechanism's
+/// allocation and payments for the linear family, exploiting that every
+/// quantity is a function of two sums:
+///   S        = sum_j 1/b_j           (from the bids), and
+///   L_actual = sum_j t~_j x_j^2      (from the verified executions),
+/// plus values agent i already knows (its own bid and verified cost):
+///   x_i     = R (1/b_i) / S,
+///   L_{-i}  = R^2 / (S - 1/b_i),
+///   P_i     = t~_i x_i^2 + L_{-i} - L_actual.
+///
+/// | protocol   | topology      | messages    | who computes payments |
+/// |------------|---------------|-------------|-----------------------|
+/// | star       | coordinator   | 3n          | coordinator (paper §3)|
+/// | broadcast  | full mesh     | 2 n(n-1)    | every agent, redundantly (auditable) |
+/// | tree       | binary tree   | 4 (n-1)     | each agent, its own   |
+/// | private    | full mesh     | 4 n(n-1)    | each agent, its own; bids hidden via additive secret sharing |
+///
+/// Verification is modelled as an oracle here (the protocols receive the
+/// verified execution values after the execution interval); the
+/// estimation-from-completions path is exercised by sim::VerifiedProtocol.
+/// In the private protocol, no party ever observes another agent's bid or
+/// cost — only the ring sums (see private_sum.h).  Note the inherent limit:
+/// once jobs flow, relative speeds are observable from the allocation
+/// itself; the protocol hides the *declarations*, which is all any
+/// protocol can do.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lbmv/dist/network.h"
+#include "lbmv/model/allocation.h"
+#include "lbmv/model/bids.h"
+#include "lbmv/model/system_config.h"
+
+namespace lbmv::dist {
+
+/// Outcome and accounting of one distributed round.
+struct DistributedReport {
+  std::string protocol;
+  model::Allocation allocation;
+  std::vector<double> payments;
+  std::vector<double> utilities;  ///< payment - verified own cost
+  double actual_latency = 0.0;    ///< L at the verified execution values
+  std::size_t messages = 0;
+  std::size_t doubles_transferred = 0;
+  double completion_time = 0.0;   ///< simulated seconds including execution
+};
+
+/// Shared tunables.
+struct DistOptions {
+  Network::Options network;      ///< delay model
+  double execution_time = 10.0;  ///< simulated seconds the jobs run
+};
+
+/// Which deployment to run.
+enum class Topology {
+  kStar,       ///< the paper's centralised protocol (coordinator node)
+  kBroadcast,  ///< full-mesh, everyone computes every payment
+  kTree,       ///< binary-tree aggregation, O(n) messages, O(log n) depth
+  kPrivate,    ///< full-mesh with additive secret sharing of bids/costs
+};
+
+[[nodiscard]] std::string topology_name(Topology topology);
+
+/// Run one round of the chosen deployment.  Requires the linear family,
+/// n >= 2, and a validated profile; intents.executions are the (oracle-)
+/// verified execution values.
+[[nodiscard]] DistributedReport run_distributed_round(
+    Topology topology, const model::SystemConfig& config,
+    const model::BidProfile& intents, const DistOptions& options = {});
+
+}  // namespace lbmv::dist

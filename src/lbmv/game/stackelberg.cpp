@@ -1,0 +1,129 @@
+#include "lbmv/game/stackelberg.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "lbmv/alloc/convex_allocator.h"
+#include "lbmv/util/error.h"
+
+namespace lbmv::game {
+namespace {
+
+/// A link observed by the followers after the leader preloaded it:
+/// l'(x) = l(preload + x).
+class ShiftedLatency final : public model::LatencyFunction {
+ public:
+  ShiftedLatency(const model::LatencyFunction& base, double preload)
+      : base_(&base), preload_(preload) {
+    LBMV_REQUIRE(preload >= 0.0, "preload must be non-negative");
+  }
+  [[nodiscard]] double latency(double x) const override {
+    return base_->latency(preload_ + x);
+  }
+  [[nodiscard]] double latency_derivative(double x) const override {
+    return base_->latency_derivative(preload_ + x);
+  }
+  [[nodiscard]] double max_rate() const override {
+    return base_->max_rate() - preload_;
+  }
+  [[nodiscard]] std::string describe() const override {
+    std::ostringstream os;
+    os << "shifted(" << base_->describe() << ", +" << preload_ << ")";
+    return os.str();
+  }
+  [[nodiscard]] std::unique_ptr<model::LatencyFunction> clone()
+      const override {
+    return std::make_unique<ShiftedLatency>(*base_, preload_);
+  }
+
+ private:
+  const model::LatencyFunction* base_;
+  double preload_;
+};
+
+std::vector<double> leader_flow_for(
+    std::span<const std::unique_ptr<model::LatencyFunction>> links,
+    const model::Allocation& optimum, double budget,
+    StackelbergStrategy strategy) {
+  const std::size_t n = links.size();
+  std::vector<double> leader(n, 0.0);
+  if (budget <= 0.0) return leader;
+  switch (strategy) {
+    case StackelbergStrategy::kScale: {
+      const double alpha = budget / optimum.total_rate();
+      for (std::size_t i = 0; i < n; ++i) leader[i] = alpha * optimum[i];
+      return leader;
+    }
+    case StackelbergStrategy::kLargestLatencyFirst: {
+      // Fill links by decreasing latency *under the optimal flow*; the
+      // followers will then gravitate to the low-latency links the leader
+      // left alone.
+      std::vector<std::size_t> order(n);
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return links[a]->latency(optimum[a]) > links[b]->latency(optimum[b]);
+      });
+      double remaining = budget;
+      for (std::size_t i : order) {
+        const double take = std::min(remaining, optimum[i]);
+        leader[i] = take;
+        remaining -= take;
+        if (remaining <= 0.0) break;
+      }
+      LBMV_ASSERT(remaining <= 1e-9 * budget,
+                  "LLF failed to place the leader's budget");
+      return leader;
+    }
+  }
+  LBMV_ASSERT(false, "unknown Stackelberg strategy");
+  return leader;
+}
+
+}  // namespace
+
+StackelbergReport stackelberg(
+    std::span<const std::unique_ptr<model::LatencyFunction>> links,
+    double demand, double alpha, StackelbergStrategy strategy) {
+  LBMV_REQUIRE(!links.empty(), "need at least one link");
+  LBMV_REQUIRE(demand > 0.0, "demand must be positive");
+  LBMV_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "alpha must be in [0, 1]");
+
+  StackelbergReport report;
+  const model::Allocation optimum = alloc::convex_allocate(links, demand);
+  report.optimal_latency = model::total_latency(optimum, links);
+  report.selfish_latency = model::total_latency(
+      wardrop_equilibrium(links, demand), links);
+
+  const double leader_budget = alpha * demand;
+  report.leader_flow = model::Allocation(
+      leader_flow_for(links, optimum, leader_budget, strategy));
+
+  const double follower_budget = demand - leader_budget;
+  std::vector<double> follower(links.size(), 0.0);
+  if (follower_budget > 1e-12 * demand) {
+    std::vector<std::unique_ptr<model::LatencyFunction>> shifted;
+    shifted.reserve(links.size());
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      shifted.push_back(std::make_unique<ShiftedLatency>(
+          *links[i], report.leader_flow[i]));
+    }
+    const model::Allocation equilibrium =
+        wardrop_equilibrium(shifted, follower_budget);
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      follower[i] = equilibrium[i];
+    }
+  }
+  report.follower_flow = model::Allocation(follower);
+
+  std::vector<double> combined(links.size());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    combined[i] = report.leader_flow[i] + follower[i];
+  }
+  report.combined_flow = model::Allocation(std::move(combined));
+  report.total_latency = model::total_latency(report.combined_flow, links);
+  return report;
+}
+
+}  // namespace lbmv::game

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file stackelberg.h
+/// Stackelberg scheduling on parallel links (Roughgarden, STOC'01 — the
+/// paper's reference [19]).
+///
+/// A leader controls a fraction alpha of the demand and commits its flow
+/// first; the remaining (1 - alpha) routes selfishly to a Wardrop
+/// equilibrium *given* the leader's preload.  Good leader strategies push
+/// the combined flow toward the optimum:
+///   * kScale       — the optimal flow scaled by alpha (simple baseline);
+///   * kLargestLatencyFirst (LLF) — Roughgarden's strategy: saturate the
+///     links the optimum loads most heavily (largest optimal latency)
+///     first, leaving the attractive links for the selfish followers.
+/// At alpha = 0 this degrades to plain selfish routing; at alpha = 1 the
+/// leader implements the optimum.
+
+#include <memory>
+#include <span>
+
+#include "lbmv/game/wardrop.h"
+
+namespace lbmv::game {
+
+/// Leader strategies.
+enum class StackelbergStrategy {
+  kScale,               ///< alpha * optimal flow
+  kLargestLatencyFirst, ///< fill links by decreasing optimal latency
+};
+
+/// Outcome of a Stackelberg game.
+struct StackelbergReport {
+  model::Allocation leader_flow;
+  model::Allocation follower_flow;
+  model::Allocation combined_flow;
+  double total_latency = 0.0;     ///< L(combined)
+  double optimal_latency = 0.0;   ///< unconstrained optimum
+  double selfish_latency = 0.0;   ///< alpha = 0 equilibrium
+  /// total / optimal in [1, PoA]; 1 means the leader fixed everything.
+  [[nodiscard]] double inefficiency() const {
+    return total_latency / optimal_latency;
+  }
+};
+
+/// Play the game: leader commits per \p strategy with demand share
+/// \p alpha in [0, 1]; followers equilibrate on the preloaded links.
+/// Requires strictly increasing latencies (see wardrop.h).
+[[nodiscard]] StackelbergReport stackelberg(
+    std::span<const std::unique_ptr<model::LatencyFunction>> links,
+    double demand, double alpha,
+    StackelbergStrategy strategy = StackelbergStrategy::kLargestLatencyFirst);
+
+}  // namespace lbmv::game

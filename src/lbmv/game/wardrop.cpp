@@ -1,0 +1,154 @@
+#include "lbmv/game/wardrop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "lbmv/alloc/convex_allocator.h"
+#include "lbmv/util/error.h"
+#include "lbmv/util/roots.h"
+
+namespace lbmv::game {
+namespace {
+
+/// Solve l(x) = c for x in (0, max_rate), assuming l(0) < c and strictly
+/// increasing l.  Mirrors the marginal-cost inversion of the optimal
+/// solver, but on the latency itself (Wardrop's condition).
+double invert_latency(const model::LatencyFunction& link, double c) {
+  const double cap = link.max_rate();
+  double hi;
+  if (std::isfinite(cap)) {
+    double delta = 0.5 * cap;
+    hi = cap - delta;
+    while (link.latency(hi) < c && delta > cap * 1e-15) {
+      delta *= 0.5;
+      hi = cap - delta;
+    }
+    if (link.latency(hi) < c) return hi;  // effectively saturated
+  } else {
+    hi = 1.0;
+    while (link.latency(hi) < c && hi < 1e300) hi *= 2.0;
+    LBMV_REQUIRE(link.latency(hi) >= c,
+                 "latency failed to reach the target level — is the link "
+                 "strictly increasing?");
+  }
+  auto g = [&](double x) { return link.latency(x) - c; };
+  const double xtol = std::max(hi * 1e-15, 1e-300);
+  return util::bisect(g, 0.0, hi, xtol, 0.0, 300).x;
+}
+
+}  // namespace
+
+model::Allocation wardrop_equilibrium(
+    std::span<const std::unique_ptr<model::LatencyFunction>> links,
+    double demand, double tol) {
+  LBMV_REQUIRE(!links.empty(), "need at least one link");
+  LBMV_REQUIRE(demand > 0.0, "demand must be positive");
+  LBMV_REQUIRE(tol > 0.0, "tolerance must be positive");
+  double total_cap = 0.0;
+  bool finite_cap = true;
+  for (const auto& link : links) {
+    LBMV_REQUIRE(link != nullptr, "links must not be null");
+    if (std::isfinite(link->max_rate())) {
+      total_cap += link->max_rate();
+    } else {
+      finite_cap = false;
+    }
+  }
+  LBMV_REQUIRE(!finite_cap || demand < total_cap,
+               "demand exceeds the total link capacity");
+
+  const std::size_t n = links.size();
+  std::vector<double> x(n);
+  auto flow_at = [&](double c) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double at_zero = links[i]->latency(0.0);
+      x[i] = (c <= at_zero) ? 0.0 : invert_latency(*links[i], c);
+      total += x[i];
+    }
+    return total;
+  };
+
+  double c_lo = std::numeric_limits<double>::infinity();
+  for (const auto& link : links) {
+    c_lo = std::min(c_lo, link->latency(0.0));
+  }
+  double c_hi = std::max(1.0, 2.0 * c_lo + 1.0);
+  int expansions = 0;
+  while (flow_at(c_hi) < demand) {
+    c_hi *= 2.0;
+    LBMV_ASSERT(++expansions < 2000, "failed to bracket the common latency");
+  }
+  const double target_tol = tol * std::max(1.0, demand);
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (c_lo + c_hi);
+    const double total = flow_at(mid);
+    if (std::fabs(total - demand) <= target_tol) break;
+    (total < demand ? c_lo : c_hi) = mid;
+    if (c_hi - c_lo <= 1e-16 * std::max(1.0, std::fabs(c_hi))) break;
+  }
+  double total = flow_at(0.5 * (c_lo + c_hi));
+  LBMV_ASSERT(total > 0.0, "degenerate equilibrium flow");
+  const double scale = demand / total;
+  for (double& xi : x) xi *= scale;
+  return model::Allocation(std::move(x));
+}
+
+WardropReport check_wardrop(
+    const model::Allocation& flow,
+    std::span<const std::unique_ptr<model::LatencyFunction>> links,
+    double demand, double tol) {
+  LBMV_REQUIRE(flow.size() == links.size(),
+               "flow and link vector must have equal size");
+  WardropReport report;
+  report.feasible = flow.is_feasible(demand, tol);
+
+  const double used_threshold =
+      tol * demand / static_cast<double>(std::max<std::size_t>(flow.size(),
+                                                               1));
+  double latency_sum = 0.0;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < flow.size(); ++i) {
+    if (flow[i] > used_threshold) {
+      latency_sum += links[i]->latency(flow[i]);
+      ++used;
+    }
+  }
+  if (used == 0) {
+    report.equilibrated = false;
+    return report;
+  }
+  report.common_latency = latency_sum / static_cast<double>(used);
+  const double scale = std::max(report.common_latency, 1.0);
+  report.equilibrated = true;
+  for (std::size_t i = 0; i < flow.size(); ++i) {
+    double violation = 0.0;
+    if (flow[i] > used_threshold) {
+      violation =
+          std::fabs(links[i]->latency(flow[i]) - report.common_latency) /
+          scale;
+    } else {
+      violation = std::max(
+          0.0, (report.common_latency - links[i]->latency(0.0)) / scale);
+    }
+    report.max_violation = std::max(report.max_violation, violation);
+  }
+  if (report.max_violation > tol) report.equilibrated = false;
+  return report;
+}
+
+PoaReport price_of_anarchy(
+    std::span<const std::unique_ptr<model::LatencyFunction>> links,
+    double demand) {
+  PoaReport report;
+  const model::Allocation equilibrium =
+      wardrop_equilibrium(links, demand);
+  report.equilibrium_latency = model::total_latency(equilibrium, links);
+  const model::Allocation optimum = alloc::convex_allocate(links, demand);
+  report.optimal_latency = model::total_latency(optimum, links);
+  return report;
+}
+
+}  // namespace lbmv::game

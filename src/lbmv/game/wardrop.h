@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file wardrop.h
+/// Selfish routing on parallel links: Wardrop equilibria and the price of
+/// anarchy.
+///
+/// The paper's system model — parallel computers with load-dependent
+/// latencies — is exactly the parallel-link routing game of the literature
+/// it builds on (Altman et al. [1]; Roughgarden's Stackelberg scheduling
+/// [19]).  There, *jobs* route selfishly: flow spreads so that every used
+/// link has equal (and minimal) latency — a Wardrop equilibrium — whereas
+/// the social optimum equalises *marginal* latency.  The ratio of
+/// equilibrium to optimal total latency is the price of anarchy (PoA).
+///
+/// Two complementary inefficiencies frame the paper:
+///   * pure linear links l(x) = t x have PoA = 1 — equalising latency and
+///     equalising marginal latency coincide, so selfish *routing* is
+///     harmless in the paper's model, and the entire inefficiency the
+///     mechanism fights comes from *misreporting* computers; but
+///   * affine links (a + b x) push the PoA up to the classic 4/3 (Pigou),
+///     so the module also quantifies when routing itself starts to hurt.
+///
+/// Requires strictly increasing latencies (model a constant link as
+/// a + epsilon * x).
+
+#include <memory>
+#include <span>
+
+#include "lbmv/model/allocation.h"
+#include "lbmv/model/latency.h"
+
+namespace lbmv::game {
+
+/// Flow with every used link at the common latency and every unused link
+/// at l(0) >= that latency (Wardrop's first principle).
+///
+/// Requires strictly increasing latencies and, for capacitated links
+/// (M/M/1), total capacity exceeding \p demand.
+[[nodiscard]] model::Allocation wardrop_equilibrium(
+    std::span<const std::unique_ptr<model::LatencyFunction>> links,
+    double demand, double tol = 1e-12);
+
+/// Check Wardrop's equilibrium conditions for an arbitrary flow (the
+/// analogue of alloc::check_kkt for equilibria).
+struct WardropReport {
+  bool feasible = false;
+  bool equilibrated = false;  ///< used links equal, unused dominated
+  double common_latency = 0.0;
+  double max_violation = 0.0;
+  [[nodiscard]] bool valid() const { return feasible && equilibrated; }
+};
+[[nodiscard]] WardropReport check_wardrop(
+    const model::Allocation& flow,
+    std::span<const std::unique_ptr<model::LatencyFunction>> links,
+    double demand, double tol = 1e-7);
+
+/// Equilibrium vs optimum summary.
+struct PoaReport {
+  double equilibrium_latency = 0.0;  ///< L at the Wardrop flow
+  double optimal_latency = 0.0;      ///< min over feasible flows
+  [[nodiscard]] double price_of_anarchy() const {
+    return equilibrium_latency / optimal_latency;
+  }
+};
+
+/// Compute both flows (equilibrium via wardrop_equilibrium, optimum via the
+/// convex allocator) and their total latencies.
+[[nodiscard]] PoaReport price_of_anarchy(
+    std::span<const std::unique_ptr<model::LatencyFunction>> links,
+    double demand);
+
+}  // namespace lbmv::game

@@ -1,0 +1,57 @@
+#include "lbmv/model/bids.h"
+
+#include "lbmv/util/error.h"
+
+namespace lbmv::model {
+
+BidProfile BidProfile::truthful(const SystemConfig& config) {
+  BidProfile profile;
+  profile.bids.assign(config.true_values().begin(),
+                      config.true_values().end());
+  profile.executions = profile.bids;
+  return profile;
+}
+
+BidProfile BidProfile::deviate(const SystemConfig& config, std::size_t i,
+                               double bid_mult, double exec_mult) {
+  LBMV_REQUIRE(i < config.size(), "agent index out of range");
+  LBMV_REQUIRE(bid_mult > 0.0 && exec_mult > 0.0,
+               "deviation multipliers must be positive");
+  BidProfile profile = truthful(config);
+  profile.bids[i] = config.true_value(i) * bid_mult;
+  profile.executions[i] = config.true_value(i) * exec_mult;
+  return profile;
+}
+
+BidProfile BidProfile::without(std::size_t i) const {
+  LBMV_REQUIRE(i < bids.size(), "agent index out of range");
+  BidProfile rest;
+  rest.bids.reserve(bids.size() - 1);
+  rest.executions.reserve(executions.size() - 1);
+  for (std::size_t j = 0; j < bids.size(); ++j) {
+    if (j == i) continue;
+    rest.bids.push_back(bids[j]);
+    rest.executions.push_back(executions[j]);
+  }
+  return rest;
+}
+
+void BidProfile::validate(std::size_t n) const {
+  LBMV_REQUIRE(bids.size() == n, "bid vector size mismatch");
+  LBMV_REQUIRE(executions.size() == n, "execution vector size mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    LBMV_REQUIRE(bids[i] > 0.0, "bids must be positive");
+    LBMV_REQUIRE(executions[i] > 0.0, "execution values must be positive");
+  }
+}
+
+bool BidProfile::executions_respect_capacity(const SystemConfig& config,
+                                             double tol) const {
+  if (executions.size() != config.size()) return false;
+  for (std::size_t i = 0; i < executions.size(); ++i) {
+    if (executions[i] + tol < config.true_value(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace lbmv::model

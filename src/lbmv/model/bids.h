@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file bids.h
+/// Bid / execution-value profiles for a round of the mechanism.
+///
+/// In the paper's mechanism with verification (Definition 3.1), each agent i
+///   * reports a bid b_i (possibly != its true value t_i), and then
+///   * executes its assigned jobs at an *execution value* t~_i >= t_i (it can
+///     run at most at its full capacity, but may deliberately run slower).
+/// The mechanism observes t~_i after the jobs complete — that observation is
+/// the "verification".
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "lbmv/model/system_config.h"
+
+namespace lbmv::model {
+
+/// A full strategy profile for one mechanism round.
+struct BidProfile {
+  std::vector<double> bids;        ///< b_i reported before allocation
+  std::vector<double> executions;  ///< t~_i observed after execution
+
+  /// Truthful profile: b_i = t~_i = theta_i for all i.
+  [[nodiscard]] static BidProfile truthful(const SystemConfig& config);
+
+  /// Truthful profile except agent \p i bids bid_mult * theta_i and executes
+  /// at exec_mult * theta_i.  This is exactly how the paper's Table 2
+  /// experiments deviate computer C1.
+  [[nodiscard]] static BidProfile deviate(const SystemConfig& config,
+                                          std::size_t i, double bid_mult,
+                                          double exec_mult);
+
+  [[nodiscard]] std::size_t size() const { return bids.size(); }
+
+  /// Profile over the remaining agents when agent i is removed.
+  [[nodiscard]] BidProfile without(std::size_t i) const;
+
+  /// Throw unless sizes match \p n and all values are positive.
+  void validate(std::size_t n) const;
+
+  /// Whether every agent executes at least as fast as it could pretend:
+  /// t~_i >= max(b_i is irrelevant) ... specifically t~_i >= theta_i for the
+  /// given config (an agent cannot run faster than its true capacity).
+  [[nodiscard]] bool executions_respect_capacity(
+      const SystemConfig& config, double tol = 1e-12) const;
+};
+
+}  // namespace lbmv::model

@@ -1,0 +1,70 @@
+#include "lbmv/model/system_config.h"
+
+#include <algorithm>
+
+#include "lbmv/util/error.h"
+
+namespace lbmv::model {
+
+SystemConfig::SystemConfig(std::vector<double> true_values,
+                           double arrival_rate)
+    : SystemConfig(std::move(true_values), arrival_rate,
+                   std::make_shared<LinearFamily>()) {}
+
+SystemConfig::SystemConfig(std::vector<double> true_values,
+                           double arrival_rate,
+                           std::shared_ptr<const LatencyFamily> family)
+    : true_values_(std::move(true_values)),
+      arrival_rate_(arrival_rate),
+      family_(std::move(family)) {
+  LBMV_REQUIRE(!true_values_.empty(), "system needs at least one computer");
+  for (double t : true_values_) {
+    LBMV_REQUIRE(t > 0.0, "true values must be positive");
+  }
+  LBMV_REQUIRE(arrival_rate_ > 0.0, "arrival rate must be positive");
+  LBMV_REQUIRE(family_ != nullptr, "latency family must not be null");
+}
+
+double SystemConfig::true_value(std::size_t i) const {
+  LBMV_REQUIRE(i < true_values_.size(), "computer index out of range");
+  return true_values_[i];
+}
+
+SystemConfig SystemConfig::with_arrival_rate(double rate) const {
+  return SystemConfig(true_values_, rate, family_);
+}
+
+SystemConfig SystemConfig::without(std::size_t i) const {
+  LBMV_REQUIRE(i < true_values_.size(), "computer index out of range");
+  LBMV_REQUIRE(true_values_.size() > 1,
+               "cannot remove the only computer from a system");
+  std::vector<double> rest;
+  rest.reserve(true_values_.size() - 1);
+  for (std::size_t j = 0; j < true_values_.size(); ++j) {
+    if (j != i) rest.push_back(true_values_[j]);
+  }
+  return SystemConfig(std::move(rest), arrival_rate_, family_);
+}
+
+std::vector<std::unique_ptr<LatencyFunction>> SystemConfig::instantiate(
+    std::span<const double> values) const {
+  LBMV_REQUIRE(values.size() == size(),
+               "value vector must match the system size");
+  std::vector<std::unique_ptr<LatencyFunction>> fns;
+  fns.reserve(values.size());
+  for (double v : values) fns.push_back(family_->make(v));
+  return fns;
+}
+
+std::vector<std::unique_ptr<LatencyFunction>> SystemConfig::instantiate_true()
+    const {
+  return instantiate(true_values_);
+}
+
+double SystemConfig::heterogeneity() const {
+  const auto [mn, mx] =
+      std::minmax_element(true_values_.begin(), true_values_.end());
+  return *mx / *mn;
+}
+
+}  // namespace lbmv::model

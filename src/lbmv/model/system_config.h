@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file system_config.h
+/// Static description of a heterogeneous distributed system.
+///
+/// A SystemConfig holds the agents' *true* types theta_i (the paper's t_i;
+/// inversely proportional to processing rate), the system job arrival rate
+/// R, and the latency family interpreting the types.  True types are private
+/// to the agents in the mechanism-design setting; the config represents the
+/// ground truth the simulation and audits are run against.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lbmv/model/latency.h"
+
+namespace lbmv::model {
+
+/// Immutable system description (value type; copies share the family).
+class SystemConfig {
+ public:
+  /// Build a config with the paper's linear latency family.
+  /// Requires all types positive and arrival_rate > 0.
+  SystemConfig(std::vector<double> true_values, double arrival_rate);
+
+  /// Build a config with an explicit latency family.
+  SystemConfig(std::vector<double> true_values, double arrival_rate,
+               std::shared_ptr<const LatencyFamily> family);
+
+  [[nodiscard]] std::size_t size() const { return true_values_.size(); }
+  [[nodiscard]] std::span<const double> true_values() const {
+    return true_values_;
+  }
+  [[nodiscard]] double true_value(std::size_t i) const;
+  [[nodiscard]] double arrival_rate() const { return arrival_rate_; }
+  [[nodiscard]] const LatencyFamily& family() const { return *family_; }
+  [[nodiscard]] std::shared_ptr<const LatencyFamily> family_ptr() const {
+    return family_;
+  }
+
+  /// Copy with a different arrival rate.
+  [[nodiscard]] SystemConfig with_arrival_rate(double rate) const;
+
+  /// Copy without computer i (for L_{-i} computations).
+  [[nodiscard]] SystemConfig without(std::size_t i) const;
+
+  /// Latency curves instantiated at arbitrary type values (e.g. bids or
+  /// execution values).  Requires values.size() == size().
+  [[nodiscard]] std::vector<std::unique_ptr<LatencyFunction>> instantiate(
+      std::span<const double> values) const;
+
+  /// Latency curves at the true types.
+  [[nodiscard]] std::vector<std::unique_ptr<LatencyFunction>>
+  instantiate_true() const;
+
+  /// Aggregate speed 1/sum(1/theta_i) style heterogeneity summary:
+  /// ratio of slowest to fastest type.
+  [[nodiscard]] double heterogeneity() const;
+
+ private:
+  std::vector<double> true_values_;
+  double arrival_rate_;
+  std::shared_ptr<const LatencyFamily> family_;
+};
+
+}  // namespace lbmv::model

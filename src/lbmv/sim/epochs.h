@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file epochs.h
+/// Multi-epoch operation under drifting machine speeds.
+///
+/// The paper's setting is static: one bid round, one allocation.  Real
+/// systems run the protocol repeatedly while the machines' effective speeds
+/// drift (co-located load, thermal throttling, hardware aging).  This
+/// module re-runs the mechanism every epoch against true values that follow
+/// a reflected log-normal random walk and supports *stale reporting*: agent
+/// i may only know (and bid) its speed from `lag_i` epochs ago — an honest
+/// agent with stale measurements behaves exactly like an unintentional
+/// misreporter, and the mechanism's measured-latency accounting handles it
+/// the same way.
+
+#include <cstdint>
+#include <vector>
+
+#include "lbmv/core/mechanism.h"
+#include "lbmv/model/system_config.h"
+
+namespace lbmv::sim {
+
+/// Schedule and drift parameters.
+struct EpochOptions {
+  int epochs = 30;
+  double drift_sigma = 0.08;  ///< std-dev of the per-epoch log-speed step
+  double min_type = 0.05;     ///< reflection bounds for the walk
+  double max_type = 100.0;
+  std::uint64_t seed = 3;
+  /// Per-agent reporting lag in epochs (empty = all 0 = fresh values).
+  /// Agents bid the true value they had `lag` epochs ago.
+  std::vector<int> bid_lags;
+};
+
+/// One epoch's state and outcome.
+struct EpochRecord {
+  std::vector<double> true_values;  ///< speeds during this epoch
+  core::MechanismOutcome outcome;
+  double optimal_latency = 0.0;  ///< best possible at the epoch's speeds
+  /// optimal / actual in (0, 1]; 1 means the epoch ran at the optimum.
+  double efficiency = 0.0;
+};
+
+/// Whole-run summary.
+struct EpochReport {
+  std::vector<EpochRecord> records;
+  std::vector<double> cumulative_utility;  ///< per agent, summed over epochs
+  double mean_efficiency = 0.0;
+};
+
+/// Run \p options.epochs rounds of \p mechanism starting from
+/// \p initial_config.  All agents execute at their (current) full capacity;
+/// bids use the lagged true values per options.bid_lags.
+[[nodiscard]] EpochReport run_epochs(const core::Mechanism& mechanism,
+                                     const model::SystemConfig& initial_config,
+                                     const EpochOptions& options = {});
+
+}  // namespace lbmv::sim

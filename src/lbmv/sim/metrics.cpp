@@ -1,0 +1,46 @@
+#include "lbmv/sim/metrics.h"
+
+#include "lbmv/util/error.h"
+
+namespace lbmv::sim {
+
+std::size_t SystemMetrics::total_jobs() const {
+  std::size_t total = 0;
+  for (const auto& s : servers) total += s.jobs_completed;
+  return total;
+}
+
+SystemMetrics collect_metrics(std::span<Server* const> servers,
+                              double duration, double warmup_fraction) {
+  LBMV_REQUIRE(duration > 0.0, "duration must be positive");
+  LBMV_REQUIRE(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
+               "warmup fraction must be in [0, 1)");
+  SystemMetrics metrics;
+  metrics.duration = duration;
+  const double warmup = warmup_fraction * duration;
+  const double window = duration - warmup;
+
+  for (const Server* server : servers) {
+    LBMV_REQUIRE(server != nullptr, "servers must not be null");
+    ServerMetrics sm;
+    util::RunningStats waiting, service, response;
+    for (const Completion& c : server->completions()) {
+      if (c.arrival < warmup) continue;
+      waiting.add(c.waiting_time());
+      service.add(c.service_time());
+      response.add(c.response_time());
+    }
+    sm.jobs_completed = waiting.count();
+    sm.throughput = static_cast<double>(sm.jobs_completed) / window;
+    sm.mean_waiting_time = waiting.mean();
+    sm.mean_service_time = service.mean();
+    sm.mean_response_time = response.mean();
+    sm.utilization = server->busy_time() / duration;
+    sm.waiting_ci95 = waiting.ci95_halfwidth();
+    metrics.measured_total_latency += sm.throughput * sm.mean_waiting_time;
+    metrics.servers.push_back(sm);
+  }
+  return metrics;
+}
+
+}  // namespace lbmv::sim

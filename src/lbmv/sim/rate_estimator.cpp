@@ -1,0 +1,127 @@
+#include "lbmv/sim/rate_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "lbmv/util/error.h"
+#include "lbmv/util/stats.h"
+
+namespace lbmv::sim {
+
+bool RateEstimate::consistent_with(double value) const {
+  return std::fabs(execution_value - value) <= ci95;
+}
+
+std::optional<RateEstimate> estimate_execution_value(
+    std::span<const Completion> completions, ServiceModel model) {
+  if (completions.empty()) return std::nullopt;
+  util::RunningStats service;
+  for (const Completion& c : completions) {
+    service.add(c.service_time());
+  }
+  RateEstimate estimate;
+  estimate.samples = service.count();
+  estimate.mean_service = service.mean();
+  estimate.execution_value =
+      linear_coefficient_from_mean_service(estimate.mean_service, model);
+  // Delta method: t~ = g(m) with g(m) = c * m^2, so sd(t~) ~= |g'(m)| sd(m)
+  // where g'(m) = 2 c m and c is the model's coefficient (1, 0.5 or 0.75).
+  const double coefficient =
+      linear_coefficient_from_mean_service(1.0, model);
+  const double dgdm = 2.0 * coefficient * estimate.mean_service;
+  estimate.ci95 = 1.959964 * dgdm * service.stderr_mean();
+  return estimate;
+}
+
+namespace {
+
+/// Expected value of the symmetric alpha-trimmed mean of Exp(mean m),
+/// divided by m.  Derived from Integral x e^{-x} over the inter-quantile
+/// band [q_a, q_{1-a}], normalised by its probability mass 1 - 2a.
+double exponential_trim_bias(double alpha) {
+  if (alpha == 0.0) return 1.0;
+  const double lower = (1.0 - alpha) * (1.0 - std::log(1.0 - alpha));
+  const double upper = alpha * (1.0 - std::log(alpha));
+  return (lower - upper) / (1.0 - 2.0 * alpha);
+}
+
+/// Trimmed-mean bias for Erlang-2 (unit mean): quantiles and band mean by
+/// numeric inversion/integration of the Gamma(2, 1/2) density.
+double erlang2_trim_bias(double alpha) {
+  if (alpha == 0.0) return 1.0;
+  // Unit-mean Erlang-2: density f(x) = 4 x e^{-2x}, cdf F(x) = 1 - (1+2x)e^{-2x}.
+  auto cdf = [](double x) { return 1.0 - (1.0 + 2.0 * x) * std::exp(-2.0 * x); };
+  auto quantile = [&](double p) {
+    double lo = 0.0, hi = 20.0;
+    for (int it = 0; it < 200; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      (cdf(mid) < p ? lo : hi) = mid;
+    }
+    return 0.5 * (lo + hi);
+  };
+  const double a = quantile(alpha);
+  const double b = quantile(1.0 - alpha);
+  // Integrate x f(x) over [a, b] with Simpson on a fine fixed grid.
+  const int kPoints = 4096;
+  const double h = (b - a) / kPoints;
+  double sum = 0.0;
+  for (int k = 0; k <= kPoints; ++k) {
+    const double x = a + h * k;
+    const double fx = 4.0 * x * std::exp(-2.0 * x) * x;  // x * density
+    const double w = (k == 0 || k == kPoints) ? 1.0 : (k % 2 ? 4.0 : 2.0);
+    sum += w * fx;
+  }
+  const double band_mean = sum * h / 3.0;
+  return band_mean / (1.0 - 2.0 * alpha);
+}
+
+}  // namespace
+
+std::optional<RateEstimate> estimate_execution_value_trimmed(
+    std::span<const Completion> completions, ServiceModel model,
+    double trim_fraction) {
+  LBMV_REQUIRE(trim_fraction >= 0.0 && trim_fraction < 0.5,
+               "trim fraction must be in [0, 0.5)");
+  if (completions.empty()) return std::nullopt;
+
+  std::vector<double> services;
+  services.reserve(completions.size());
+  for (const Completion& c : completions) {
+    services.push_back(c.service_time());
+  }
+  std::sort(services.begin(), services.end());
+  const auto drop = static_cast<std::size_t>(
+      trim_fraction * static_cast<double>(services.size()));
+  util::RunningStats trimmed;
+  for (std::size_t i = drop; i < services.size() - drop; ++i) {
+    trimmed.add(services[i]);
+  }
+  if (trimmed.count() == 0) return std::nullopt;
+
+  // Undo the trimming bias.  Deterministic service has no tails, so the
+  // trimmed mean is already the mean; exponential needs the analytic
+  // correction at the *effective* trim fraction actually applied.
+  const double effective_alpha =
+      static_cast<double>(drop) / static_cast<double>(services.size());
+  double bias = 1.0;
+  if (model == ServiceModel::kExponential) {
+    bias = exponential_trim_bias(effective_alpha);
+  } else if (model == ServiceModel::kErlang2) {
+    // No convenient closed form; estimate the Erlang-2 trimmed-mean bias
+    // numerically once per call (cheap: fixed 4096-point grid).
+    bias = erlang2_trim_bias(effective_alpha);
+  }
+  RateEstimate estimate;
+  estimate.samples = trimmed.count();
+  estimate.mean_service = trimmed.mean() / bias;
+  estimate.execution_value =
+      linear_coefficient_from_mean_service(estimate.mean_service, model);
+  const double coefficient =
+      linear_coefficient_from_mean_service(1.0, model);
+  const double dgdm = 2.0 * coefficient * estimate.mean_service;
+  estimate.ci95 = 1.959964 * dgdm * trimmed.stderr_mean() / bias;
+  return estimate;
+}
+
+}  // namespace lbmv::sim

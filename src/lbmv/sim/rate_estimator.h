@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file rate_estimator.h
+/// Verification: estimating execution values from observed completions.
+///
+/// The paper's protocol says "in this waiting period the mechanism
+/// estimates the actual job processing rate at each computer and uses it to
+/// determine the execution value t~".  The paper treats that estimate as an
+/// oracle; this module implements it.  Under the M/G/1-light interpretation
+/// (see server.h), the execution value is a deterministic function of the
+/// mean service time, t~ = E[S]^2 for exponential service, so the estimator
+/// reduces to a mean over the observed service durations with a delta-method
+/// confidence interval for the induced t~.
+
+#include <optional>
+#include <span>
+
+#include "lbmv/sim/server.h"
+
+namespace lbmv::sim {
+
+/// An execution-value estimate from one server's completion log.
+struct RateEstimate {
+  double mean_service = 0.0;    ///< sample mean of observed service times
+  double execution_value = 0.0; ///< t~ implied by the service model
+  double ci95 = 0.0;            ///< ~95% half-width on execution_value
+  std::size_t samples = 0;
+
+  /// Whether \p value lies within the confidence interval.
+  [[nodiscard]] bool consistent_with(double value) const;
+};
+
+/// Estimate the execution value from completion records under \p model.
+/// Returns nullopt when there are no completions to learn from (the caller
+/// decides the fallback — the protocol falls back to the agent's bid).
+[[nodiscard]] std::optional<RateEstimate> estimate_execution_value(
+    std::span<const Completion> completions, ServiceModel model);
+
+/// Outlier-robust variant: discards the lowest and highest
+/// \p trim_fraction of the observed service times before averaging, then
+/// corrects the bias the trimming introduces (for exponential service the
+/// symmetric alpha-trimmed mean underestimates the mean by the analytic
+/// factor c(alpha) = [(1-a)(1-ln(1-a)) - a(1-ln a)] / (1-2a)).
+///
+/// Use when the completion log may be corrupted — clock glitches, stuck
+/// records, or a machine trying to poison its own measurement with a few
+/// absurd samples.  Requires trim_fraction in [0, 0.5).
+[[nodiscard]] std::optional<RateEstimate> estimate_execution_value_trimmed(
+    std::span<const Completion> completions, ServiceModel model,
+    double trim_fraction = 0.1);
+
+}  // namespace lbmv::sim

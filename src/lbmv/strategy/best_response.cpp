@@ -1,0 +1,84 @@
+#include "lbmv/strategy/best_response.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lbmv/util/error.h"
+#include "lbmv/util/roots.h"
+
+namespace lbmv::strategy {
+
+BestResponseResult best_response_dynamics(const core::Mechanism& mechanism,
+                                          const model::SystemConfig& config,
+                                          const BestResponseOptions& options) {
+  LBMV_REQUIRE(options.max_rounds > 0, "max_rounds must be positive");
+  LBMV_REQUIRE(options.bid_lo_mult > 0.0 &&
+                   options.bid_lo_mult < options.bid_hi_mult,
+               "bid search interval must satisfy 0 < lo < hi");
+  for (double em : options.exec_multipliers) {
+    LBMV_REQUIRE(em >= 1.0, "execution multipliers must be >= 1");
+  }
+
+  model::BidProfile profile = model::BidProfile::truthful(config);
+  BestResponseResult result;
+
+  auto utility_of = [&](std::size_t i, double bid, double exec) {
+    model::BidProfile candidate = profile;
+    candidate.bids[i] = bid;
+    candidate.executions[i] = exec;
+    return mechanism.run(config, candidate).agents[i].utility;
+  };
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    double max_move = 0.0;
+    for (std::size_t i = 0; i < config.size(); ++i) {
+      const double t = config.true_value(i);
+      const double lo = options.bid_lo_mult * t;
+      const double hi = options.bid_hi_mult * t;
+
+      double best_bid = profile.bids[i];
+      double best_exec = profile.executions[i];
+      double best_utility = utility_of(i, best_bid, best_exec);
+
+      const std::vector<double> exec_candidates =
+          options.optimize_execution ? options.exec_multipliers
+                                     : std::vector<double>{1.0};
+      for (double em : exec_candidates) {
+        const double exec = em * t;
+        const auto min_result = util::minimize_scan(
+            [&](double bid) { return -utility_of(i, bid, exec); }, lo, hi,
+            options.bid_grid, 1e-9 * t);
+        const double utility = -min_result.fx;
+        if (utility > best_utility + 1e-12) {
+          best_utility = utility;
+          best_bid = min_result.x;
+          best_exec = exec;
+        }
+      }
+      max_move = std::max(
+          max_move, std::fabs(best_bid - profile.bids[i]) / t);
+      profile.bids[i] = best_bid;
+      profile.executions[i] = best_exec;
+    }
+    result.bid_trajectory.push_back(profile.bids);
+    result.rounds = round + 1;
+    if (max_move <= options.tol) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.final_bids = profile.bids;
+  result.final_executions = profile.executions;
+  result.final_actual_latency =
+      mechanism.run(config, profile).actual_latency;
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    const double t = config.true_value(i);
+    result.max_relative_untruthfulness =
+        std::max(result.max_relative_untruthfulness,
+                 std::fabs(profile.bids[i] - t) / t);
+  }
+  return result;
+}
+
+}  // namespace lbmv::strategy

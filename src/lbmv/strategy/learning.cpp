@@ -1,0 +1,128 @@
+#include "lbmv/strategy/learning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lbmv/util/error.h"
+#include "lbmv/util/rng.h"
+
+namespace lbmv::strategy {
+namespace {
+
+/// Per-agent epsilon-greedy state over the arm grid.
+struct Learner {
+  std::vector<double> q;       ///< incremental mean reward per arm
+  std::vector<std::size_t> n;  ///< pulls per arm
+  util::Rng rng{0};
+
+  [[nodiscard]] std::size_t pick(double epsilon) {
+    if (rng.uniform() < epsilon) {
+      return static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(q.size()) - 1));
+    }
+    return greedy();
+  }
+
+  [[nodiscard]] std::size_t greedy() const {
+    std::size_t best = 0;
+    for (std::size_t a = 1; a < q.size(); ++a) {
+      // Break ties toward unexplored arms to keep early greed harmless.
+      if (q[a] > q[best] || (q[a] == q[best] && n[a] < n[best])) best = a;
+    }
+    return best;
+  }
+
+  void update(std::size_t arm, double reward) {
+    ++n[arm];
+    q[arm] += (reward - q[arm]) / static_cast<double>(n[arm]);
+  }
+};
+
+}  // namespace
+
+LearningResult run_learning(const core::Mechanism& mechanism,
+                            const model::SystemConfig& config,
+                            const LearningOptions& options) {
+  LBMV_REQUIRE(!options.bid_arms.empty() && !options.exec_arms.empty(),
+               "arm grids must be non-empty");
+  for (double b : options.bid_arms) {
+    LBMV_REQUIRE(b > 0.0, "bid arms must be positive");
+  }
+  for (double e : options.exec_arms) {
+    LBMV_REQUIRE(e >= 1.0, "execution arms must be >= 1");
+  }
+  LBMV_REQUIRE(options.rounds > 0, "rounds must be positive");
+  LBMV_REQUIRE(options.epsilon >= 0.0 && options.epsilon <= 1.0,
+               "epsilon must be in [0, 1]");
+  if (options.single_learner) {
+    LBMV_REQUIRE(*options.single_learner < config.size(),
+                 "single_learner index out of range");
+  }
+
+  const std::size_t n = config.size();
+  const std::size_t arms = options.bid_arms.size() * options.exec_arms.size();
+  auto arm_bid = [&](std::size_t a) {
+    return options.bid_arms[a / options.exec_arms.size()];
+  };
+  auto arm_exec = [&](std::size_t a) {
+    return options.exec_arms[a % options.exec_arms.size()];
+  };
+  // Index of the truthful arm (1, 1) if present; used only for reporting.
+  util::Rng root(options.seed);
+  std::vector<Learner> learners(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    learners[i].q.assign(arms, 0.0);
+    learners[i].n.assign(arms, 0);
+    learners[i].rng = root.split(i + 1);
+  }
+
+  auto profile_for = [&](const std::vector<std::size_t>& chosen) {
+    model::BidProfile profile = model::BidProfile::truthful(config);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (options.single_learner && *options.single_learner != i) continue;
+      profile.bids[i] = arm_bid(chosen[i]) * config.true_value(i);
+      profile.executions[i] = arm_exec(chosen[i]) * config.true_value(i);
+    }
+    return profile;
+  };
+
+  LearningResult result;
+  result.latency_trace.reserve(static_cast<std::size_t>(options.rounds));
+  double epsilon = options.epsilon;
+  std::vector<std::size_t> chosen(n, 0);
+  for (int round = 0; round < options.rounds; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      chosen[i] = learners[i].pick(epsilon);
+    }
+    const auto outcome = mechanism.run(config, profile_for(chosen));
+    result.latency_trace.push_back(outcome.actual_latency);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (options.single_learner && *options.single_learner != i) continue;
+      learners[i].update(chosen[i], outcome.agents[i].utility);
+    }
+    epsilon *= options.epsilon_decay;
+  }
+
+  result.final_bid_mult.resize(n, 1.0);
+  result.final_exec_mult.resize(n, 1.0);
+  std::size_t truthful = 0;
+  std::vector<std::size_t> greedy(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (options.single_learner && *options.single_learner != i) {
+      ++truthful;  // non-learners are truthful by construction
+      continue;
+    }
+    greedy[i] = learners[i].greedy();
+    result.final_bid_mult[i] = arm_bid(greedy[i]);
+    result.final_exec_mult[i] = arm_exec(greedy[i]);
+    truthful += result.final_bid_mult[i] == 1.0 &&
+                result.final_exec_mult[i] == 1.0;
+  }
+  result.truthful_fraction =
+      static_cast<double>(truthful) / static_cast<double>(n);
+  result.final_greedy_latency =
+      mechanism.run(config, profile_for(greedy)).actual_latency;
+  return result;
+}
+
+}  // namespace lbmv::strategy

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file learning.h
+/// Bandit learners: do agents *discover* truth-telling from experience?
+///
+/// The audits (lbmv/core/audit.h) certify truthfulness by exhaustive
+/// enumeration, and best_response.h by exact optimisation.  A third, weaker
+/// but more behaviourally plausible check: agents that know nothing about
+/// the mechanism and just run epsilon-greedy bandits over a grid of
+/// (bid multiplier, execution multiplier) arms.  Under the verified
+/// mechanism the greedy arm drifts to (1, 1) and the system latency to the
+/// optimum; under the no-payment protocol the learners discover bid
+/// inflation instead.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lbmv/core/mechanism.h"
+#include "lbmv/model/system_config.h"
+
+namespace lbmv::strategy {
+
+/// Grid and schedule for the learners.
+struct LearningOptions {
+  /// Candidate bid multipliers (arms are the cross product with exec).
+  std::vector<double> bid_arms{0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0};
+  /// Candidate execution multipliers (>= 1).
+  std::vector<double> exec_arms{1.0, 1.5, 2.0};
+  int rounds = 600;
+  double epsilon = 0.2;          ///< initial exploration probability
+  double epsilon_decay = 0.995;  ///< multiplicative per-round decay
+  std::uint64_t seed = 5;
+  /// If set, only this agent learns; everyone else plays truthfully.
+  /// (Against truthful opponents truth is exactly dominant, so the single
+  /// learner must converge to the (1, 1) arm.)
+  std::optional<std::size_t> single_learner;
+};
+
+/// Outcome of a learning run.
+struct LearningResult {
+  std::vector<double> final_bid_mult;   ///< greedy arm per agent
+  std::vector<double> final_exec_mult;
+  std::vector<double> latency_trace;    ///< actual L per round
+  double final_greedy_latency = 0.0;    ///< L when all play greedy arms
+  double truthful_fraction = 0.0;       ///< share of agents at (1, 1)
+};
+
+/// Run epsilon-greedy bandits over mechanism rounds.
+[[nodiscard]] LearningResult run_learning(const core::Mechanism& mechanism,
+                                          const model::SystemConfig& config,
+                                          const LearningOptions& options = {});
+
+}  // namespace lbmv::strategy

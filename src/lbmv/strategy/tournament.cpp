@@ -1,0 +1,65 @@
+#include "lbmv/strategy/tournament.h"
+
+#include <cmath>
+
+#include "lbmv/util/error.h"
+#include "lbmv/util/stats.h"
+
+namespace lbmv::strategy {
+
+std::vector<StrategyScore> run_tournament(
+    const core::Mechanism& mechanism,
+    const std::vector<const Strategy*>& strategies,
+    const TournamentOptions& options) {
+  LBMV_REQUIRE(!strategies.empty(), "tournament needs at least one strategy");
+  LBMV_REQUIRE(options.agents >= 2, "tournament systems need >= 2 agents");
+  LBMV_REQUIRE(options.instances > 0, "tournament needs >= 1 instance");
+  LBMV_REQUIRE(0.0 < options.type_lo && options.type_lo < options.type_hi,
+               "type range must satisfy 0 < lo < hi");
+
+  std::vector<util::RunningStats> utility(strategies.size());
+  std::vector<util::RunningStats> regret(strategies.size());
+  util::Rng rng(options.seed);
+
+  for (int instance = 0; instance < options.instances; ++instance) {
+    util::Rng instance_rng = rng.split(static_cast<std::uint64_t>(instance));
+    std::vector<double> types(options.agents);
+    for (double& t : types) {
+      t = std::exp(instance_rng.uniform(std::log(options.type_lo),
+                                        std::log(options.type_hi)));
+    }
+    const model::SystemConfig config(types, options.arrival_rate);
+
+    std::vector<const Strategy*> assigned(options.agents);
+    for (std::size_t i = 0; i < options.agents; ++i) {
+      assigned[i] = strategies[i % strategies.size()];
+    }
+    util::Rng action_rng = instance_rng.split(1);
+    const model::BidProfile profile =
+        apply_strategies(config, assigned, action_rng);
+    const core::MechanismOutcome outcome = mechanism.run(config, profile);
+
+    for (std::size_t i = 0; i < options.agents; ++i) {
+      const std::size_t s = i % strategies.size();
+      const double achieved = outcome.agents[i].utility;
+      // Truthful counterfactual with everyone else's actions fixed.
+      model::BidProfile counterfactual = profile;
+      counterfactual.bids[i] = config.true_value(i);
+      counterfactual.executions[i] = config.true_value(i);
+      const double truthful_u =
+          mechanism.run(config, counterfactual).agents[i].utility;
+      utility[s].add(achieved);
+      regret[s].add(truthful_u - achieved);
+    }
+  }
+
+  std::vector<StrategyScore> scores;
+  scores.reserve(strategies.size());
+  for (std::size_t s = 0; s < strategies.size(); ++s) {
+    scores.push_back(StrategyScore{strategies[s]->name(), utility[s].mean(),
+                                   regret[s].mean(), utility[s].count()});
+  }
+  return scores;
+}
+
+}  // namespace lbmv::strategy

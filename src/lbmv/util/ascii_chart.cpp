@@ -1,0 +1,175 @@
+#include "lbmv/util/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "lbmv/util/error.h"
+
+namespace lbmv::util {
+namespace {
+
+constexpr const char* kGlyphs = "*o+x#@%&";
+
+std::string format_value(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << v;
+  return os.str();
+}
+
+std::size_t max_label_width(const std::vector<Bar>& bars) {
+  std::size_t w = 0;
+  for (const auto& b : bars) w = std::max(w, b.label.size());
+  return w;
+}
+
+}  // namespace
+
+std::string bar_chart(const std::string& title, const std::vector<Bar>& bars,
+                      int width) {
+  LBMV_REQUIRE(width >= 4, "bar_chart width too small");
+  std::ostringstream os;
+  if (!title.empty()) os << title << '\n';
+  if (bars.empty()) return os.str();
+
+  double max_abs = 0.0;
+  bool any_negative = false;
+  for (const auto& b : bars) {
+    max_abs = std::max(max_abs, std::fabs(b.value));
+    any_negative |= b.value < 0.0;
+  }
+  if (max_abs == 0.0) max_abs = 1.0;
+  const std::size_t label_w = max_label_width(bars);
+  // With negatives, split the width into a left (negative) and right
+  // (positive) half around a common axis.
+  const int half = any_negative ? width / 2 : 0;
+
+  for (const auto& b : bars) {
+    const int len = static_cast<int>(
+        std::lround(std::fabs(b.value) / max_abs *
+                    static_cast<double>(any_negative ? half : width)));
+    os << "  " << b.label << std::string(label_w - b.label.size(), ' ')
+       << " |";
+    if (any_negative) {
+      if (b.value < 0.0) {
+        os << std::string(half - len, ' ') << std::string(len, '<') << '|';
+      } else {
+        os << std::string(half, ' ') << '|' << std::string(len, '#');
+      }
+    } else {
+      os << std::string(len, '#');
+    }
+    os << ' ' << format_value(b.value) << '\n';
+  }
+  return os.str();
+}
+
+std::string grouped_bar_chart(const std::string& title,
+                              const std::vector<std::string>& series_names,
+                              const std::vector<BarGroup>& groups, int width) {
+  LBMV_REQUIRE(!series_names.empty(), "grouped_bar_chart needs series names");
+  std::ostringstream os;
+  if (!title.empty()) os << title << '\n';
+  os << "  legend:";
+  for (std::size_t s = 0; s < series_names.size(); ++s) {
+    os << "  [" << kGlyphs[s % 8] << "] " << series_names[s];
+  }
+  os << '\n';
+
+  double max_abs = 0.0;
+  bool any_negative = false;
+  std::size_t label_w = 0;
+  for (const auto& g : groups) {
+    LBMV_REQUIRE(g.values.size() == series_names.size(),
+                 "group value count must match series count");
+    label_w = std::max(label_w, g.label.size());
+    for (double v : g.values) {
+      max_abs = std::max(max_abs, std::fabs(v));
+      any_negative |= v < 0.0;
+    }
+  }
+  if (max_abs == 0.0) max_abs = 1.0;
+  const int half = any_negative ? width / 2 : 0;
+
+  for (const auto& g : groups) {
+    for (std::size_t s = 0; s < g.values.size(); ++s) {
+      const double v = g.values[s];
+      const int len = static_cast<int>(
+          std::lround(std::fabs(v) / max_abs *
+                      static_cast<double>(any_negative ? half : width)));
+      const char glyph = kGlyphs[s % 8];
+      const std::string label = (s == 0) ? g.label : std::string();
+      os << "  " << label << std::string(label_w - label.size(), ' ') << " |";
+      if (any_negative) {
+        if (v < 0.0) {
+          os << std::string(half - len, ' ') << std::string(len, glyph) << '|';
+        } else {
+          os << std::string(half, ' ') << '|' << std::string(len, glyph);
+        }
+      } else {
+        os << std::string(len, glyph);
+      }
+      os << ' ' << format_value(v) << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string line_chart(const std::string& title,
+                       const std::vector<Series>& series, int width,
+                       int height) {
+  LBMV_REQUIRE(width >= 8 && height >= 4, "line_chart grid too small");
+  std::ostringstream os;
+  if (!title.empty()) os << title << '\n';
+  double xmin = 0, xmax = 0, ymin = 0, ymax = 0;
+  bool first = true;
+  for (const auto& s : series) {
+    LBMV_REQUIRE(s.xs.size() == s.ys.size(),
+                 "line_chart series must have equal-length xs and ys");
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (first) {
+        xmin = xmax = s.xs[i];
+        ymin = ymax = s.ys[i];
+        first = false;
+      } else {
+        xmin = std::min(xmin, s.xs[i]);
+        xmax = std::max(xmax, s.xs[i]);
+        ymin = std::min(ymin, s.ys[i]);
+        ymax = std::max(ymax, s.ys[i]);
+      }
+    }
+  }
+  if (first) return os.str();  // no points
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width),
+                                            ' '));
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const char glyph = kGlyphs[s % 8];
+    for (std::size_t i = 0; i < series[s].xs.size(); ++i) {
+      const double fx = (series[s].xs[i] - xmin) / (xmax - xmin);
+      const double fy = (series[s].ys[i] - ymin) / (ymax - ymin);
+      auto col = static_cast<std::size_t>(
+          std::lround(fx * static_cast<double>(width - 1)));
+      auto row = static_cast<std::size_t>(
+          std::lround((1.0 - fy) * static_cast<double>(height - 1)));
+      grid[row][col] = glyph;
+    }
+  }
+  os << "  y_max = " << format_value(ymax) << '\n';
+  for (const auto& row : grid) os << "  |" << row << '\n';
+  os << "  +" << std::string(static_cast<std::size_t>(width), '-') << '\n';
+  os << "  y_min = " << format_value(ymin) << "   x: ["
+     << format_value(xmin) << ", " << format_value(xmax) << "]\n";
+  os << "  legend:";
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    os << "  [" << kGlyphs[s % 8] << "] " << series[s].name;
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace lbmv::util

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file ascii_chart.h
+/// Terminal rendering of the paper's figures.
+///
+/// The original paper presents Figures 1–6 as plots.  Offline we render the
+/// same series as ASCII bar charts / line charts so the *shape* of each
+/// figure (who wins, by what factor, where crossovers fall) is visible
+/// directly in the bench output, alongside the exact numbers in tables/CSV.
+
+#include <string>
+#include <vector>
+
+namespace lbmv::util {
+
+/// One labelled value in a bar chart.
+struct Bar {
+  std::string label;
+  double value = 0.0;
+};
+
+/// Horizontal bar chart.  Bars are scaled to \p width characters at the
+/// maximum |value|; negative values extend left of the axis.
+[[nodiscard]] std::string bar_chart(const std::string& title,
+                                    const std::vector<Bar>& bars,
+                                    int width = 50);
+
+/// Grouped horizontal bar chart: for each label, one bar per series
+/// (e.g. payment vs utility per computer).  series_names sizes the group.
+struct BarGroup {
+  std::string label;
+  std::vector<double> values;  ///< one per series
+};
+[[nodiscard]] std::string grouped_bar_chart(
+    const std::string& title, const std::vector<std::string>& series_names,
+    const std::vector<BarGroup>& groups, int width = 50);
+
+/// Simple scatter/line chart of y against x on a character grid.
+/// Multiple series are drawn with distinct glyphs and a legend.
+struct Series {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+[[nodiscard]] std::string line_chart(const std::string& title,
+                                     const std::vector<Series>& series,
+                                     int width = 72, int height = 20);
+
+}  // namespace lbmv::util

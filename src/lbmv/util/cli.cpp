@@ -1,0 +1,152 @@
+#include "lbmv/util/cli.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace lbmv::util {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {
+  add_flag("help", "show this help");
+}
+
+ArgParser& ArgParser::add_flag(const std::string& name,
+                               const std::string& help) {
+  flags_[name] = Flag{help, false};
+  return *this;
+}
+
+ArgParser& ArgParser::add_option(const std::string& name,
+                                 const std::string& help,
+                                 const std::string& default_value) {
+  options_[name] = Option{help, default_value};
+  return *this;
+}
+
+void ArgParser::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      positionals_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string inline_value;
+    bool has_inline = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline = true;
+    }
+    if (const auto flag = flags_.find(name); flag != flags_.end()) {
+      if (has_inline) {
+        throw UsageError("flag --" + name + " does not take a value");
+      }
+      flag->second.set = true;
+      continue;
+    }
+    const auto option = options_.find(name);
+    if (option == options_.end()) {
+      throw UsageError("unknown option --" + name + " (see --help)");
+    }
+    if (has_inline) {
+      option->second.value = inline_value;
+    } else {
+      if (i + 1 >= args.size()) {
+        throw UsageError("option --" + name + " requires a value");
+      }
+      option->second.value = args[++i];
+    }
+  }
+}
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  parse(args);
+}
+
+bool ArgParser::flag(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) throw UsageError("undeclared flag --" + name);
+  return it->second.set;
+}
+
+const std::string& ArgParser::option(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) throw UsageError("undeclared option --" + name);
+  return it->second.value;
+}
+
+double ArgParser::option_as_double(const std::string& name) const {
+  const std::string& text = option(name);
+  double value = 0.0;
+  const auto* first = text.data();
+  const auto* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) {
+    throw UsageError("option --" + name + " expects a number, got '" + text +
+                     "'");
+  }
+  return value;
+}
+
+long ArgParser::option_as_long(const std::string& name) const {
+  const std::string& text = option(name);
+  long value = 0;
+  const auto* first = text.data();
+  const auto* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) {
+    throw UsageError("option --" + name + " expects an integer, got '" +
+                     text + "'");
+  }
+  return value;
+}
+
+std::vector<double> ArgParser::option_as_doubles(
+    const std::string& name) const {
+  try {
+    return parse_double_list(option(name));
+  } catch (const UsageError& e) {
+    throw UsageError("option --" + name + ": " + e.what());
+  }
+}
+
+std::string ArgParser::help() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& [name, option] : options_) {
+    os << "  --" << name << " <value>  " << option.help
+       << " (default: " << option.value << ")\n";
+  }
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << "  " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+std::vector<double> parse_double_list(const std::string& text) {
+  std::vector<double> values;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(',', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string item = text.substr(start, end - start);
+    if (item.empty()) throw UsageError("empty element in number list");
+    double value = 0.0;
+    const auto* first = item.data();
+    const auto* last = item.data() + item.size();
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || ptr != last) {
+      throw UsageError("invalid number '" + item + "' in list");
+    }
+    values.push_back(value);
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  if (values.empty()) throw UsageError("empty number list");
+  return values;
+}
+
+}  // namespace lbmv::util

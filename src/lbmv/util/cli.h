@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file cli.h
+/// Tiny declarative command-line argument parser for the lbmv tools.
+///
+/// Supports `--flag`, `--option value`, `--option=value` and positional
+/// arguments, with typed accessors and generated help text.  Unknown
+/// options are an error (typos should not pass silently).
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lbmv::util {
+
+/// Thrown when the command line is malformed; the message is user-facing.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Declarative option/flag parser.
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Declare a boolean flag `--name`.
+  ArgParser& add_flag(const std::string& name, const std::string& help);
+
+  /// Declare a valued option `--name <value>` with a default.
+  ArgParser& add_option(const std::string& name, const std::string& help,
+                        const std::string& default_value);
+
+  /// Parse; throws UsageError on unknown options, missing values, or
+  /// malformed numbers requested later via the typed getters.
+  void parse(const std::vector<std::string>& args);
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool flag(const std::string& name) const;
+  [[nodiscard]] const std::string& option(const std::string& name) const;
+  [[nodiscard]] double option_as_double(const std::string& name) const;
+  [[nodiscard]] long option_as_long(const std::string& name) const;
+  /// Comma-separated list of doubles, e.g. --types 1,2,5,10.
+  [[nodiscard]] std::vector<double> option_as_doubles(
+      const std::string& name) const;
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+
+  [[nodiscard]] std::string help() const;
+
+ private:
+  struct Flag {
+    std::string help;
+    bool set = false;
+  };
+  struct Option {
+    std::string help;
+    std::string value;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positionals_;
+};
+
+/// Parse a comma-separated list of doubles; throws UsageError on junk.
+[[nodiscard]] std::vector<double> parse_double_list(const std::string& text);
+
+}  // namespace lbmv::util

@@ -1,0 +1,39 @@
+#include "lbmv/util/csv.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace lbmv::util {
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << quote(cells[i]);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::write_numeric_row(const std::vector<double>& cells) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os << ',';
+    os << cells[i];
+  }
+  *out_ << os.str() << '\n';
+}
+
+std::string CsvWriter::quote(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace lbmv::util

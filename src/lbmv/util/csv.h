@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file csv.h
+/// Minimal CSV emission for benchmark series.
+///
+/// Bench binaries write one CSV per figure next to their stdout report so the
+/// series can be re-plotted outside this repository (the paper's figures were
+/// plots; offline we ship the data instead — see DESIGN.md substitutions).
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lbmv::util {
+
+/// Streaming CSV writer with RFC-4180 quoting.
+class CsvWriter {
+ public:
+  /// Write to \p out (not owned; must outlive the writer).
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Write one row of raw string cells (quoted as needed).
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Write one row of numeric cells with full double precision.
+  void write_numeric_row(const std::vector<double>& cells);
+
+  /// Quote a single cell per RFC 4180 (only when it contains , " or newline).
+  [[nodiscard]] static std::string quote(const std::string& cell);
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace lbmv::util

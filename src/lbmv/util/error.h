@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file error.h
+/// Precondition / invariant checking for the lbmv library.
+///
+/// All public entry points validate their arguments with LBMV_REQUIRE and
+/// throw lbmv::util::PreconditionError on violation.  Internal invariants
+/// that indicate a library bug use LBMV_ASSERT and throw LogicError; these
+/// are kept enabled in release builds because every computation in this
+/// library is cheap relative to the cost of acting on a wrong allocation
+/// or payment.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lbmv::util {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant fails (a bug in the library).
+class LogicError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "lbmv precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_logic(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "lbmv internal invariant failed: (" << expr << ") at " << file << ':'
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw LogicError(os.str());
+}
+
+}  // namespace detail
+}  // namespace lbmv::util
+
+/// Validate a caller-supplied precondition; throws PreconditionError.
+#define LBMV_REQUIRE(expr, msg)                                             \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::lbmv::util::detail::throw_precondition(#expr, __FILE__, __LINE__,  \
+                                               (msg));                     \
+    }                                                                      \
+  } while (false)
+
+/// Validate an internal invariant; throws LogicError.
+#define LBMV_ASSERT(expr, msg)                                          \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::lbmv::util::detail::throw_logic(#expr, __FILE__, __LINE__,      \
+                                        (msg));                         \
+    }                                                                   \
+  } while (false)

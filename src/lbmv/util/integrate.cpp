@@ -1,0 +1,65 @@
+#include "lbmv/util/integrate.h"
+
+#include <cmath>
+
+#include "lbmv/util/error.h"
+
+namespace lbmv::util {
+namespace {
+
+double simpson(double fa, double fm, double fb, double h) {
+  return h / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive(const std::function<double(double)>& f, double a, double b,
+                double fa, double fm, double fb, double whole, double tol,
+                int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson(fa, flm, fm, m - a);
+  const double right = simpson(fm, frm, fb, b - m);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::fabs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;  // Richardson extrapolation
+  }
+  return adaptive(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1) +
+         adaptive(f, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1);
+}
+
+}  // namespace
+
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 double tol, int max_depth) {
+  LBMV_REQUIRE(std::isfinite(a) && std::isfinite(b),
+               "integrate requires finite bounds");
+  if (a == b) return 0.0;
+  const double sign = (a < b) ? 1.0 : -1.0;
+  const double lo = std::min(a, b);
+  const double hi = std::max(a, b);
+  const double mid = 0.5 * (lo + hi);
+  const double flo = f(lo);
+  const double fmid = f(mid);
+  const double fhi = f(hi);
+  const double whole = simpson(flo, fmid, fhi, hi - lo);
+  return sign * adaptive(f, lo, hi, flo, fmid, fhi, whole, tol, max_depth);
+}
+
+double integrate_to_infinity(const std::function<double(double)>& f, double a,
+                             double tol) {
+  LBMV_REQUIRE(std::isfinite(a), "integrate_to_infinity requires finite a");
+  // x = a + t/(1-t); dx = dt/(1-t)^2.  t in [0, 1).
+  auto g = [&](double t) {
+    const double om = 1.0 - t;
+    if (om <= 0.0) return 0.0;  // integrand must vanish at infinity
+    const double x = a + t / om;
+    return f(x) / (om * om);
+  };
+  // Stop just shy of t = 1 to avoid evaluating at the singular endpoint; the
+  // remaining sliver contributes O(f(huge)) which is 0 for admissible f.
+  return integrate(g, 0.0, 1.0 - 1e-12, tol);
+}
+
+}  // namespace lbmv::util

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file integrate.h
+/// Numeric quadrature used to cross-check closed-form mechanism payments.
+///
+/// The Archer–Tardos payment rule involves the integral of the work curve
+/// from the agent's bid to infinity; lbmv evaluates it in closed form for the
+/// PR allocation and uses these routines to verify that closed form in tests.
+
+#include <functional>
+
+namespace lbmv::util {
+
+/// Adaptive Simpson quadrature of f on the finite interval [a, b].
+///
+/// \p tol is an absolute error target.  \p max_depth bounds recursion.
+[[nodiscard]] double integrate(const std::function<double(double)>& f,
+                               double a, double b, double tol = 1e-10,
+                               int max_depth = 40);
+
+/// Integral of f on [a, +inf), for integrands decaying at least as 1/x^2.
+///
+/// Uses the substitution x = a + t/(1-t), t in [0, 1), which maps the tail to
+/// a finite interval, then adaptive Simpson.
+[[nodiscard]] double integrate_to_infinity(
+    const std::function<double(double)>& f, double a, double tol = 1e-10);
+
+}  // namespace lbmv::util

@@ -1,0 +1,410 @@
+#include "lbmv/util/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+namespace lbmv::util {
+namespace {
+
+/// Recursive-descent parser with position tracking.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_whitespace();
+    JsonValue value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    std::size_t line = 1, column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    std::ostringstream os;
+    os << "JSON parse error at line " << line << ", column " << column
+       << ": " << message;
+    throw JsonError(os.str());
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return eof() ? '\0' : text_[pos_]; }
+  char take() {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void skip_whitespace() {
+    while (!eof() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                      text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    if (++depth_ > 256) fail("nesting too deep");
+    JsonValue value = parse_value_inner();
+    --depth_;
+    return value;
+  }
+
+  JsonValue parse_value_inner() {
+    skip_whitespace();
+    if (eof()) fail("unexpected end of input");
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue(nullptr);
+        fail("invalid literal");
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        fail("unexpected character");
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue::Object object;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(object));
+    }
+    for (;;) {
+      skip_whitespace();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      object[std::move(key)] = parse_value();
+      skip_whitespace();
+      const char c = take();
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+    return JsonValue(std::move(object));
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue::Array array;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(array));
+    }
+    for (;;) {
+      array.push_back(parse_value());
+      skip_whitespace();
+      const char c = take();
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+    return JsonValue(std::move(array));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid \\u escape");
+            }
+          }
+          // Encode as UTF-8 (BMP only; surrogate pairs are rejected to
+          // keep the codec simple and lossless for the CLI's use).
+          if (code >= 0xd800 && code <= 0xdfff) {
+            fail("surrogate pairs are not supported");
+          }
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default:
+          fail("invalid escape sequence");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    double value = 0.0;
+    const auto* first = text_.data() + start;
+    const auto* last = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || ptr != last || !std::isfinite(value)) {
+      pos_ = start;
+      fail("invalid number");
+    }
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+void dump_string(const std::string& s, std::ostringstream& os) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(c) & 0xff);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void dump_number(double d, std::ostringstream& os) {
+  if (d == static_cast<double>(static_cast<long long>(d)) &&
+      std::fabs(d) < 1e15) {
+    os << static_cast<long long>(d);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  os << buf;
+}
+
+void dump_value(const JsonValue& value, std::ostringstream& os, int indent,
+                int depth) {
+  const std::string pad =
+      indent < 0 ? "" : std::string(static_cast<std::size_t>(indent * depth),
+                                    ' ');
+  const std::string child_pad =
+      indent < 0 ? ""
+                 : std::string(static_cast<std::size_t>(indent * (depth + 1)),
+                               ' ');
+  const char* newline = indent < 0 ? "" : "\n";
+  switch (value.type()) {
+    case JsonValue::Type::kNull:
+      os << "null";
+      return;
+    case JsonValue::Type::kBool:
+      os << (value.as_bool() ? "true" : "false");
+      return;
+    case JsonValue::Type::kNumber:
+      dump_number(value.as_number(), os);
+      return;
+    case JsonValue::Type::kString:
+      dump_string(value.as_string(), os);
+      return;
+    case JsonValue::Type::kArray: {
+      const auto& array = value.as_array();
+      if (array.empty()) {
+        os << "[]";
+        return;
+      }
+      os << '[' << newline;
+      for (std::size_t i = 0; i < array.size(); ++i) {
+        os << child_pad;
+        dump_value(array[i], os, indent, depth + 1);
+        if (i + 1 < array.size()) os << ',';
+        os << newline;
+      }
+      os << pad << ']';
+      return;
+    }
+    case JsonValue::Type::kObject: {
+      const auto& object = value.as_object();
+      if (object.empty()) {
+        os << "{}";
+        return;
+      }
+      os << '{' << newline;
+      std::size_t i = 0;
+      for (const auto& [key, member] : object) {
+        os << child_pad;
+        dump_string(key, os);
+        os << (indent < 0 ? ":" : ": ");
+        dump_value(member, os, indent, depth + 1);
+        if (++i < object.size()) os << ',';
+        os << newline;
+      }
+      os << pad << '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+JsonValue::Type JsonValue::type() const {
+  switch (value_.index()) {
+    case 0: return Type::kNull;
+    case 1: return Type::kBool;
+    case 2: return Type::kNumber;
+    case 3: return Type::kString;
+    case 4: return Type::kArray;
+    default: return Type::kObject;
+  }
+}
+
+bool JsonValue::as_bool() const {
+  if (const auto* b = std::get_if<bool>(&value_)) return *b;
+  throw JsonError("value is not a boolean");
+}
+
+double JsonValue::as_number() const {
+  if (const auto* d = std::get_if<double>(&value_)) return *d;
+  throw JsonError("value is not a number");
+}
+
+const std::string& JsonValue::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&value_)) return *s;
+  throw JsonError("value is not a string");
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (const auto* a = std::get_if<Array>(&value_)) return *a;
+  throw JsonError("value is not an array");
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (const auto* o = std::get_if<Object>(&value_)) return *o;
+  throw JsonError("value is not an object");
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const auto& object = as_object();
+  const auto it = object.find(key);
+  if (it == object.end()) throw JsonError("missing key: " + key);
+  return it->second;
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  const auto& array = as_array();
+  if (index >= array.size()) throw JsonError("array index out of range");
+  return array[index];
+}
+
+bool JsonValue::contains(const std::string& key) const {
+  if (!is_object()) return false;
+  return as_object().count(key) > 0;
+}
+
+double JsonValue::number_or(const std::string& key, double fallback) const {
+  if (!contains(key)) return fallback;
+  return at(key).as_number();
+}
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::ostringstream os;
+  dump_value(*this, os, indent, 0);
+  return os.str();
+}
+
+}  // namespace lbmv::util

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file json.h
+/// A small, dependency-free JSON reader/writer.
+///
+/// Used by the CLI tool to load system descriptions and emit
+/// machine-readable results.  Supports the full JSON value model (null,
+/// bool, finite numbers, strings with escapes, arrays, objects); numbers
+/// are stored as double.  Parsing errors carry line/column positions.
+
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace lbmv::util {
+
+/// Thrown on malformed JSON or on type-mismatched access.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// An immutable-ish JSON value (copyable value type).
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  /// std::map keeps keys ordered -> deterministic dumps.
+  using Object = std::map<std::string, JsonValue>;
+
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(int i) : value_(static_cast<double>(i)) {}
+  JsonValue(const char* s) : value_(std::string(s)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(Array a) : value_(std::move(a)) {}
+  JsonValue(Object o) : value_(std::move(o)) {}
+
+  [[nodiscard]] Type type() const;
+  [[nodiscard]] bool is_null() const { return type() == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type() == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type() == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type() == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type() == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type() == Type::kObject; }
+
+  /// Typed accessors; throw JsonError on mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member access; throws JsonError when absent or not an object.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  /// Array element access; throws JsonError when out of range.
+  [[nodiscard]] const JsonValue& at(std::size_t index) const;
+  /// Whether this is an object containing \p key.
+  [[nodiscard]] bool contains(const std::string& key) const;
+  /// Object member or \p fallback when absent.
+  [[nodiscard]] double number_or(const std::string& key,
+                                 double fallback) const;
+
+  /// Parse a complete JSON document (surrounding whitespace allowed).
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+  /// Serialise: compact when indent < 0, pretty with the given indent
+  /// width otherwise.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  friend bool operator==(const JsonValue& a, const JsonValue& b) {
+    return a.value_ == b.value_;
+  }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+}  // namespace lbmv::util

@@ -1,0 +1,74 @@
+#include "lbmv/util/rng.h"
+
+#include "lbmv/util/error.h"
+
+namespace lbmv::util {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) : seed_(seed), engine_(splitmix64(seed)) {}
+
+Rng Rng::split(std::uint64_t stream_index) const {
+  // Mix the parent seed with the stream index through two SplitMix rounds so
+  // that adjacent indices land far apart in seed space.
+  return Rng(splitmix64(seed_ ^ splitmix64(stream_index + 1)));
+}
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  LBMV_REQUIRE(lo < hi, "uniform(lo, hi) requires lo < hi");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  LBMV_REQUIRE(lo <= hi, "uniform_int(lo, hi) requires lo <= hi");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::exponential(double rate) {
+  LBMV_REQUIRE(rate > 0.0, "exponential rate must be positive");
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  LBMV_REQUIRE(stddev >= 0.0, "normal stddev must be non-negative");
+  if (stddev == 0.0) return mean;
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::gamma(double shape, double scale) {
+  LBMV_REQUIRE(shape > 0.0 && scale > 0.0, "gamma parameters must be positive");
+  return std::gamma_distribution<double>(shape, scale)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  LBMV_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli p must be in [0, 1]");
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  LBMV_REQUIRE(!weights.empty(), "categorical requires at least one weight");
+  double total = 0.0;
+  for (double w : weights) {
+    LBMV_REQUIRE(w >= 0.0, "categorical weights must be non-negative");
+    total += w;
+  }
+  LBMV_REQUIRE(total > 0.0, "categorical weights must have positive sum");
+  double u = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  return weights.size() - 1;  // guard against floating-point round-off
+}
+
+}  // namespace lbmv::util

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file stats.h
+/// Streaming and batch statistics used by the simulator and benchmarks.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lbmv::util {
+
+/// Numerically stable streaming moments (Welford's algorithm).
+///
+/// Accumulates count, mean, variance, min and max in O(1) per sample with no
+/// stored history; suitable for long simulation runs.
+class RunningStats {
+ public:
+  /// Add one observation.
+  void add(double x);
+
+  /// Merge another accumulator into this one (parallel reduction support).
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean; 0 for fewer than two samples.
+  [[nodiscard]] double stderr_mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const;
+
+  /// Half-width of the ~95% normal confidence interval for the mean.
+  [[nodiscard]] double ci95_halfwidth() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch helpers over a span of samples.
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Linear interpolated percentile, p in [0, 100].  Requires non-empty input.
+/// The input need not be sorted; a sorted copy is made internally.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Ordinary least squares fit y = a + b*x.  Requires xs.size() == ys.size()
+/// and at least two points with distinct x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+[[nodiscard]] LinearFit fit_line(std::span<const double> xs,
+                                 std::span<const double> ys);
+
+/// Relative difference |a-b| / max(|a|, |b|, floor); 0 when both are ~0.
+[[nodiscard]] double rel_diff(double a, double b, double floor = 1e-300);
+
+}  // namespace lbmv::util

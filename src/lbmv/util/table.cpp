@@ -1,0 +1,65 @@
+#include "lbmv/util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "lbmv/util/error.h"
+
+namespace lbmv::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  LBMV_REQUIRE(!headers_.empty(), "Table requires at least one column");
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  LBMV_REQUIRE(cells.size() == headers_.size(),
+               "Table row width must match the header");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::pct(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::showpos << std::fixed << std::setprecision(precision)
+     << fraction * 100.0 << '%';
+  return os.str();
+}
+
+std::string Table::to_markdown() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells,
+                      std::ostringstream& os) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c]
+         << std::string(widths[c] - cells[c].size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+  std::ostringstream os;
+  emit_row(headers_, os);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row, os);
+  return os.str();
+}
+
+}  // namespace lbmv::util

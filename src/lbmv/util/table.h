@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file table.h
+/// Markdown / plain-text table rendering for benchmark and report output.
+///
+/// Every bench binary that regenerates a paper table or figure emits its
+/// series through Table so the rows the paper reports appear verbatim on
+/// stdout and can be diffed between runs.
+
+#include <string>
+#include <vector>
+
+namespace lbmv::util {
+
+/// Column-aligned table with a header row, rendered as GitHub markdown.
+class Table {
+ public:
+  /// Create a table with the given column headers (at least one).
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row of pre-formatted cells; must match the header width.
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Format a double with \p precision fractional digits (fixed notation).
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+
+  /// Format a double as a percentage with sign, e.g. "+17.0%".
+  [[nodiscard]] static std::string pct(double fraction, int precision = 1);
+
+  /// Render as a markdown table (header, separator, rows).
+  [[nodiscard]] std::string to_markdown() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lbmv::util

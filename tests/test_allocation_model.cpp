@@ -1,0 +1,160 @@
+// Unit tests for Allocation, SystemConfig and BidProfile.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "lbmv/model/allocation.h"
+#include "lbmv/model/bids.h"
+#include "lbmv/model/system_config.h"
+#include "lbmv/util/error.h"
+
+namespace {
+
+using namespace lbmv::model;
+
+TEST(Allocation, FeasibilityChecksBothConditions) {
+  Allocation ok({1.0, 2.0, 3.0});
+  EXPECT_TRUE(ok.is_feasible(6.0));
+  EXPECT_FALSE(ok.is_feasible(5.0));  // conservation violated
+  Allocation negative({-1.0, 7.0});
+  EXPECT_FALSE(negative.is_feasible(6.0));  // positivity violated
+}
+
+TEST(Allocation, TotalRateAndIndexing) {
+  Allocation x({0.5, 1.5});
+  EXPECT_DOUBLE_EQ(x.total_rate(), 2.0);
+  EXPECT_DOUBLE_EQ(x[1], 1.5);
+  EXPECT_THROW((void)x[2], lbmv::util::PreconditionError);
+}
+
+TEST(Allocation, WithoutRemovesOneEntry) {
+  Allocation x({1.0, 2.0, 3.0});
+  Allocation rest = x.without(1);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_DOUBLE_EQ(rest[0], 1.0);
+  EXPECT_DOUBLE_EQ(rest[1], 3.0);
+}
+
+TEST(Allocation, RejectsNonFiniteRates) {
+  EXPECT_THROW(
+      Allocation({1.0, std::numeric_limits<double>::quiet_NaN()}),
+      lbmv::util::PreconditionError);
+}
+
+TEST(TotalLatency, LinearFormulaMatchesPaperEquation2) {
+  // L(x) = sum t_i x_i^2.
+  Allocation x({2.0, 3.0});
+  const std::vector<double> t{1.0, 0.5};
+  EXPECT_DOUBLE_EQ(total_latency_linear(x, t), 1.0 * 4.0 + 0.5 * 9.0);
+}
+
+TEST(TotalLatency, GeneralFormAgreesWithLinearSpecialisation) {
+  Allocation x({2.0, 3.0});
+  const std::vector<double> t{1.0, 0.5};
+  std::vector<std::unique_ptr<LatencyFunction>> fns;
+  for (double ti : t) fns.push_back(std::make_unique<LinearLatency>(ti));
+  EXPECT_DOUBLE_EQ(total_latency(x, fns), total_latency_linear(x, t));
+}
+
+TEST(TotalLatency, SkipsZeroRateComputersOutsideDomain) {
+  // An M/M/1 server with zero allocated rate contributes zero cost and its
+  // latency function must not be evaluated outside its domain.
+  Allocation x({0.0, 1.0});
+  std::vector<std::unique_ptr<LatencyFunction>> fns;
+  fns.push_back(std::make_unique<MM1Latency>(0.5));  // could not serve 1.0
+  fns.push_back(std::make_unique<MM1Latency>(3.0));
+  EXPECT_DOUBLE_EQ(total_latency(x, fns), 1.0 / (3.0 - 1.0));
+}
+
+TEST(TotalLatency, SizeMismatchThrows) {
+  Allocation x({1.0});
+  const std::vector<double> t{1.0, 2.0};
+  EXPECT_THROW((void)total_latency_linear(x, t),
+               lbmv::util::PreconditionError);
+}
+
+TEST(SystemConfig, ValidatesInput) {
+  EXPECT_THROW(SystemConfig({}, 1.0), lbmv::util::PreconditionError);
+  EXPECT_THROW(SystemConfig({1.0, -2.0}, 1.0),
+               lbmv::util::PreconditionError);
+  EXPECT_THROW(SystemConfig({1.0}, 0.0), lbmv::util::PreconditionError);
+}
+
+TEST(SystemConfig, WithoutPreservesOrderAndRate) {
+  SystemConfig config({1.0, 2.0, 5.0}, 20.0);
+  SystemConfig rest = config.without(1);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_DOUBLE_EQ(rest.true_value(0), 1.0);
+  EXPECT_DOUBLE_EQ(rest.true_value(1), 5.0);
+  EXPECT_DOUBLE_EQ(rest.arrival_rate(), 20.0);
+  SystemConfig one({1.0}, 2.0);
+  EXPECT_THROW((void)one.without(0), lbmv::util::PreconditionError);
+}
+
+TEST(SystemConfig, InstantiateBuildsFamilyCurves) {
+  SystemConfig config({1.0, 4.0}, 10.0);
+  const std::vector<double> values{2.0, 3.0};
+  const auto fns = config.instantiate(values);
+  ASSERT_EQ(fns.size(), 2u);
+  EXPECT_DOUBLE_EQ(fns[0]->latency(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(fns[1]->latency(1.0), 3.0);
+  const auto true_fns = config.instantiate_true();
+  EXPECT_DOUBLE_EQ(true_fns[1]->latency(1.0), 4.0);
+}
+
+TEST(SystemConfig, HeterogeneityIsMaxOverMin) {
+  SystemConfig config({1.0, 2.0, 10.0}, 5.0);
+  EXPECT_DOUBLE_EQ(config.heterogeneity(), 10.0);
+}
+
+TEST(SystemConfig, WithArrivalRateSharesFamily) {
+  SystemConfig config({1.0, 2.0}, 5.0);
+  SystemConfig scaled = config.with_arrival_rate(8.0);
+  EXPECT_DOUBLE_EQ(scaled.arrival_rate(), 8.0);
+  EXPECT_EQ(&scaled.family(), &config.family());
+}
+
+TEST(BidProfile, TruthfulMirrorsTrueValues) {
+  SystemConfig config({1.0, 2.0}, 5.0);
+  const BidProfile profile = BidProfile::truthful(config);
+  EXPECT_EQ(profile.bids, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(profile.executions, (std::vector<double>{1.0, 2.0}));
+  EXPECT_TRUE(profile.executions_respect_capacity(config));
+}
+
+TEST(BidProfile, DeviateOnlyTouchesOneAgent) {
+  SystemConfig config({1.0, 2.0, 5.0}, 5.0);
+  const BidProfile profile = BidProfile::deviate(config, 1, 3.0, 2.0);
+  EXPECT_DOUBLE_EQ(profile.bids[0], 1.0);
+  EXPECT_DOUBLE_EQ(profile.bids[1], 6.0);
+  EXPECT_DOUBLE_EQ(profile.executions[1], 4.0);
+  EXPECT_DOUBLE_EQ(profile.bids[2], 5.0);
+}
+
+TEST(BidProfile, WithoutDropsTheAgent) {
+  SystemConfig config({1.0, 2.0, 5.0}, 5.0);
+  const BidProfile profile = BidProfile::deviate(config, 0, 2.0, 1.0);
+  const BidProfile rest = profile.without(0);
+  EXPECT_EQ(rest.bids, (std::vector<double>{2.0, 5.0}));
+  EXPECT_EQ(rest.executions, (std::vector<double>{2.0, 5.0}));
+}
+
+TEST(BidProfile, ValidateCatchesBadShapesAndValues) {
+  BidProfile profile;
+  profile.bids = {1.0, 2.0};
+  profile.executions = {1.0};
+  EXPECT_THROW(profile.validate(2), lbmv::util::PreconditionError);
+  profile.executions = {1.0, -2.0};
+  EXPECT_THROW(profile.validate(2), lbmv::util::PreconditionError);
+}
+
+TEST(BidProfile, CapacityCheckFlagsExecutionBelowTruth) {
+  SystemConfig config({2.0, 2.0}, 5.0);
+  BidProfile profile = BidProfile::truthful(config);
+  profile.executions[0] = 1.0;  // pretends to run faster than possible
+  EXPECT_FALSE(profile.executions_respect_capacity(config));
+}
+
+}  // namespace

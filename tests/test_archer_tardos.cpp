@@ -1,0 +1,118 @@
+// Tests for the Archer–Tardos one-parameter baseline, certifying the
+// closed-form payment integral against numeric quadrature.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "lbmv/analysis/paper_config.h"
+#include "lbmv/core/archer_tardos.h"
+#include "lbmv/model/bids.h"
+#include "lbmv/util/error.h"
+
+namespace {
+
+using lbmv::core::archer_tardos_tail_integral;
+using lbmv::core::ArcherTardosMechanism;
+using lbmv::model::BidProfile;
+using lbmv::model::SystemConfig;
+
+TEST(ArcherTardos, ClosedFormMatchesNumericIntegral) {
+  for (double bid : {0.3, 1.0, 2.7}) {
+    for (double s : {0.5, 4.1, 9.0}) {
+      for (double rate : {5.0, 20.0}) {
+        EXPECT_NEAR(archer_tardos_tail_integral(bid, s, rate),
+                    ArcherTardosMechanism::tail_integral_numeric(bid, s, rate),
+                    1e-6)
+            << "bid=" << bid << " s=" << s << " R=" << rate;
+      }
+    }
+  }
+}
+
+TEST(ArcherTardos, TailIntegralRejectsBadInput) {
+  EXPECT_THROW((void)archer_tardos_tail_integral(0.0, 1.0, 1.0),
+               lbmv::util::PreconditionError);
+  EXPECT_THROW((void)archer_tardos_tail_integral(1.0, 0.0, 1.0),
+               lbmv::util::PreconditionError);
+  EXPECT_THROW((void)archer_tardos_tail_integral(1.0, 1.0, -1.0),
+               lbmv::util::PreconditionError);
+}
+
+TEST(ArcherTardos, WorkCurveIsMonotoneDecreasingInOwnBid) {
+  // The Archer–Tardos characterisation requires w_i non-increasing in the
+  // agent's bid; under PR, w_i = x_i^2 = (R / (1 + b s))^2.
+  const SystemConfig config({1.0, 2.0, 5.0}, 10.0);
+  ArcherTardosMechanism mechanism;
+  double prev_work = std::numeric_limits<double>::infinity();
+  for (double mult : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const auto outcome =
+        mechanism.run(config, BidProfile::deviate(config, 0, mult, 1.0));
+    const double work =
+        outcome.agents[0].allocation * outcome.agents[0].allocation;
+    EXPECT_LT(work, prev_work);
+    prev_work = work;
+  }
+}
+
+TEST(ArcherTardos, TruthfulBiddingIsDominantOnAGrid) {
+  const SystemConfig config({1.0, 2.0, 5.0, 10.0}, 20.0);
+  ArcherTardosMechanism mechanism;
+  for (std::size_t agent = 0; agent < config.size(); ++agent) {
+    const double truthful_u =
+        mechanism.run(config, BidProfile::truthful(config))
+            .agents[agent]
+            .utility;
+    for (double mult : {0.1, 0.5, 0.9, 1.1, 2.0, 8.0}) {
+      const auto outcome = mechanism.run(
+          config, BidProfile::deviate(config, agent, mult, 1.0));
+      EXPECT_LE(outcome.agents[agent].utility, truthful_u + 1e-9)
+          << "agent " << agent << " multiplier " << mult;
+    }
+  }
+}
+
+TEST(ArcherTardos, TruthfulUtilityEqualsTailIntegral) {
+  // U_i = P_i + V_i = (b w + tail) - t w = tail at a truthful profile:
+  // always positive, so voluntary participation holds by construction.
+  const SystemConfig config({1.0, 4.0}, 6.0);
+  ArcherTardosMechanism mechanism;
+  const auto outcome = mechanism.run(config, BidProfile::truthful(config));
+  const double s0 = 1.0 / 4.0;
+  EXPECT_NEAR(outcome.agents[0].utility,
+              archer_tardos_tail_integral(1.0, s0, 6.0), 1e-9);
+  EXPECT_GT(outcome.agents[0].utility, 0.0);
+  EXPECT_GT(outcome.agents[1].utility, 0.0);
+}
+
+TEST(ArcherTardos, PaymentIgnoresExecutionValues) {
+  const SystemConfig config({1.0, 2.0}, 4.0);
+  ArcherTardosMechanism mechanism;
+  const auto honest = mechanism.run(config, BidProfile::truthful(config));
+  const auto slack =
+      mechanism.run(config, BidProfile::deviate(config, 1, 1.0, 2.0));
+  EXPECT_NEAR(slack.agents[1].payment, honest.agents[1].payment, 1e-10);
+  EXPECT_FALSE(mechanism.uses_verification());
+}
+
+TEST(ArcherTardos, RejectsNonLinearFamily) {
+  auto family = std::make_shared<lbmv::model::MM1Family>();
+  const SystemConfig config({0.2, 0.4}, 2.0, family);
+  ArcherTardosMechanism mechanism;
+  EXPECT_THROW((void)mechanism.run(config, BidProfile::truthful(config)),
+               lbmv::util::PreconditionError);
+}
+
+TEST(ArcherTardos, PaperConfigPaymentsAreFinitePositive) {
+  const auto config = lbmv::analysis::paper_table1_config();
+  ArcherTardosMechanism mechanism;
+  const auto outcome = mechanism.run(config, BidProfile::truthful(config));
+  for (const auto& agent : outcome.agents) {
+    EXPECT_GT(agent.payment, 0.0);
+    EXPECT_TRUE(std::isfinite(agent.payment));
+  }
+}
+
+}  // namespace

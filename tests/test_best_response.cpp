@@ -1,0 +1,96 @@
+// Tests for iterated best-response dynamics: convergence to truth under the
+// verified mechanism, divergence under the classical no-payment protocol.
+
+#include <gtest/gtest.h>
+
+#include "lbmv/alloc/pr_allocator.h"
+#include "lbmv/core/comp_bonus.h"
+#include "lbmv/core/no_payment.h"
+#include "lbmv/model/system_config.h"
+#include "lbmv/strategy/best_response.h"
+#include "lbmv/util/error.h"
+
+namespace {
+
+using lbmv::core::CompBonusMechanism;
+using lbmv::core::NoPaymentMechanism;
+using lbmv::model::SystemConfig;
+using lbmv::strategy::best_response_dynamics;
+using lbmv::strategy::BestResponseOptions;
+using lbmv::strategy::BestResponseResult;
+
+BestResponseOptions quick_options() {
+  BestResponseOptions options;
+  options.max_rounds = 12;
+  options.bid_grid = 64;
+  options.exec_multipliers = {1.0, 1.5, 2.0};
+  return options;
+}
+
+TEST(BestResponse, CompBonusConvergesToTruthTelling) {
+  const SystemConfig config({1.0, 2.0, 5.0}, 10.0);
+  CompBonusMechanism mechanism;
+  const BestResponseResult result =
+      best_response_dynamics(mechanism, config, quick_options());
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.max_relative_untruthfulness, 0.02);
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.final_executions[i], config.true_value(i))
+        << "agent " << i << " slacked";
+  }
+  // The settled system runs at (essentially) the optimum.
+  const double optimal = lbmv::alloc::pr_optimal_latency(
+      std::vector<double>(config.true_values().begin(),
+                          config.true_values().end()),
+      config.arrival_rate());
+  EXPECT_NEAR(result.final_actual_latency, optimal, 0.01 * optimal);
+}
+
+TEST(BestResponse, NoPaymentDynamicsCollapseToMaxBids) {
+  const SystemConfig config({1.0, 2.0, 5.0}, 10.0);
+  NoPaymentMechanism mechanism;
+  BestResponseOptions options = quick_options();
+  options.optimize_execution = false;
+  const BestResponseResult result =
+      best_response_dynamics(mechanism, config, options);
+  // Every agent dodges work by inflating its bid to the search ceiling.
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    EXPECT_GT(result.final_bids[i] / config.true_value(i), 10.0)
+        << "agent " << i;
+  }
+  EXPECT_GT(result.max_relative_untruthfulness, 5.0);
+}
+
+TEST(BestResponse, TrajectoryIsRecorded) {
+  const SystemConfig config({1.0, 3.0}, 4.0);
+  CompBonusMechanism mechanism;
+  const BestResponseResult result =
+      best_response_dynamics(mechanism, config, quick_options());
+  ASSERT_GE(result.rounds, 1);
+  EXPECT_EQ(result.bid_trajectory.size(),
+            static_cast<std::size_t>(result.rounds));
+  for (const auto& round : result.bid_trajectory) {
+    EXPECT_EQ(round.size(), config.size());
+  }
+  EXPECT_EQ(result.bid_trajectory.back(), result.final_bids);
+}
+
+TEST(BestResponse, ValidatesOptions) {
+  const SystemConfig config({1.0, 2.0}, 4.0);
+  CompBonusMechanism mechanism;
+  BestResponseOptions bad = quick_options();
+  bad.max_rounds = 0;
+  EXPECT_THROW((void)best_response_dynamics(mechanism, config, bad),
+               lbmv::util::PreconditionError);
+  bad = quick_options();
+  bad.bid_lo_mult = 2.0;
+  bad.bid_hi_mult = 1.0;
+  EXPECT_THROW((void)best_response_dynamics(mechanism, config, bad),
+               lbmv::util::PreconditionError);
+  bad = quick_options();
+  bad.exec_multipliers = {0.5};
+  EXPECT_THROW((void)best_response_dynamics(mechanism, config, bad),
+               lbmv::util::PreconditionError);
+}
+
+}  // namespace

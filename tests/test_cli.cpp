@@ -1,0 +1,269 @@
+// Tests for the argument parser and the `lbmv` CLI commands.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "lbmv/cli/commands.h"
+#include "lbmv/util/cli.h"
+
+namespace {
+
+using lbmv::cli::run_cli;
+using lbmv::util::ArgParser;
+using lbmv::util::parse_double_list;
+using lbmv::util::UsageError;
+
+// --------------------------------------------------------------------------
+// ArgParser
+
+TEST(ArgParser, ParsesFlagsOptionsAndPositionals) {
+  ArgParser args("prog", "test");
+  args.add_flag("verbose", "talk more");
+  args.add_option("rate", "jobs/s", "20");
+  args.parse({"--verbose", "--rate", "5", "positional"});
+  EXPECT_TRUE(args.flag("verbose"));
+  EXPECT_EQ(args.option("rate"), "5");
+  EXPECT_DOUBLE_EQ(args.option_as_double("rate"), 5.0);
+  ASSERT_EQ(args.positionals().size(), 1u);
+  EXPECT_EQ(args.positionals()[0], "positional");
+}
+
+TEST(ArgParser, SupportsEqualsSyntaxAndDefaults) {
+  ArgParser args("prog", "test");
+  args.add_option("rate", "jobs/s", "20");
+  args.parse({"--rate=7.5"});
+  EXPECT_DOUBLE_EQ(args.option_as_double("rate"), 7.5);
+  ArgParser untouched("prog", "test");
+  untouched.add_option("rate", "jobs/s", "20");
+  untouched.parse({});
+  EXPECT_EQ(untouched.option("rate"), "20");
+}
+
+TEST(ArgParser, RejectsUnknownAndMalformed) {
+  ArgParser args("prog", "test");
+  args.add_flag("quick", "");
+  args.add_option("rate", "", "1");
+  EXPECT_THROW(args.parse({"--nope"}), UsageError);
+  ArgParser args2("prog", "test");
+  args2.add_option("rate", "", "1");
+  EXPECT_THROW(args2.parse({"--rate"}), UsageError);  // missing value
+  ArgParser args3("prog", "test");
+  args3.add_flag("quick", "");
+  EXPECT_THROW(args3.parse({"--quick=yes"}), UsageError);
+  ArgParser args4("prog", "test");
+  args4.add_option("rate", "", "x");
+  args4.parse({});
+  EXPECT_THROW((void)args4.option_as_double("rate"), UsageError);
+  EXPECT_THROW((void)args4.option("undeclared"), UsageError);
+}
+
+TEST(ArgParser, NumericListsAndIntegers) {
+  ArgParser args("prog", "test");
+  args.add_option("types", "", "1,2.5,10");
+  args.add_option("rounds", "", "12");
+  args.parse({});
+  EXPECT_EQ(args.option_as_doubles("types"),
+            (std::vector<double>{1.0, 2.5, 10.0}));
+  EXPECT_EQ(args.option_as_long("rounds"), 12);
+  EXPECT_THROW((void)parse_double_list("1,,2"), UsageError);
+  EXPECT_THROW((void)parse_double_list("1,abc"), UsageError);
+  EXPECT_THROW((void)parse_double_list(""), UsageError);
+}
+
+TEST(ArgParser, HelpListsDeclaredEntries) {
+  ArgParser args("prog", "does things");
+  args.add_option("rate", "jobs per second", "20");
+  args.add_flag("json", "machine output");
+  const std::string help = args.help();
+  EXPECT_NE(help.find("does things"), std::string::npos);
+  EXPECT_NE(help.find("--rate"), std::string::npos);
+  EXPECT_NE(help.find("jobs per second"), std::string::npos);
+  EXPECT_NE(help.find("--json"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// run_cli
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult cli(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  const int code = run_cli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(Cli, NoArgsPrintsHelpWithError) {
+  const auto result = cli({});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.out.find("commands:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const auto result = cli({"frobnicate"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, CommandHelpIsGenerated) {
+  const auto result = cli({"run", "--help"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("--mechanism"), std::string::npos);
+}
+
+TEST(Cli, PaperCommandPrintsHeadlineNumbers) {
+  const auto result = cli({"paper"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("78.43"), std::string::npos);
+  EXPECT_NE(result.out.find("Figure 1"), std::string::npos);
+  EXPECT_NE(result.out.find("Figure 6"), std::string::npos);
+}
+
+TEST(Cli, RunCommandTableAndJsonAgree) {
+  const auto table = cli({"run", "--types", "1,2", "--rate", "6"});
+  EXPECT_EQ(table.code, 0);
+  EXPECT_NE(table.out.find("actual latency: 24"), std::string::npos);
+  const auto json =
+      cli({"run", "--types", "1,2", "--rate", "6", "--json"});
+  EXPECT_EQ(json.code, 0);
+  EXPECT_NE(json.out.find("\"actual_latency\": 24"), std::string::npos);
+}
+
+TEST(Cli, RunWithDeviationChangesOutcome) {
+  const auto honest = cli({"run", "--types", "1,2", "--rate", "6"});
+  const auto lying =
+      cli({"run", "--types", "1,2", "--rate", "6", "--deviate", "0:2:2"});
+  EXPECT_EQ(lying.code, 0);
+  EXPECT_NE(honest.out, lying.out);
+}
+
+TEST(Cli, AuditExitCodeReflectsTruthfulness) {
+  EXPECT_EQ(cli({"audit", "--types", "1,2,4", "--rate", "6"}).code, 0);
+  const auto broken = cli({"audit", "--types", "1,2,4", "--rate", "6",
+                           "--mechanism", "no-payment"});
+  EXPECT_EQ(broken.code, 1);
+  EXPECT_NE(broken.out.find("NO"), std::string::npos);
+}
+
+TEST(Cli, UsageErrorsAreExitCode2) {
+  EXPECT_EQ(cli({"run", "--types", "abc", "--rate", "5"}).code, 2);
+  EXPECT_EQ(cli({"run", "--mechanism", "quantum"}).code, 2);
+  EXPECT_EQ(cli({"run", "--deviate", "banana"}).code, 2);
+  EXPECT_EQ(cli({"dist", "--topology", "mesh?"}).code, 2);
+  EXPECT_EQ(cli({"config"}).code, 2);  // --file required
+}
+
+TEST(Cli, FrugalityMatchesPaperRatio) {
+  const auto result =
+      cli({"frugality", "--types", "1,1,2,2,2,5,5,5,5,5,10,10,10,10,10,10",
+           "--rate", "20"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("2.138"), std::string::npos);
+}
+
+TEST(Cli, DistCommandRunsEachTopology) {
+  for (const char* topology : {"star", "broadcast", "tree", "private"}) {
+    const auto result = cli(
+        {"dist", "--types", "1,2,5", "--rate", "10", "--topology", topology});
+    EXPECT_EQ(result.code, 0) << topology;
+    EXPECT_NE(result.out.find(topology), std::string::npos);
+  }
+}
+
+TEST(Cli, ConfigCommandReadsJsonFile) {
+  const std::string path = ::testing::TempDir() + "lbmv_config_test.json";
+  {
+    std::ofstream file(path);
+    file << R"({
+      "true_values": [1, 2, 4],
+      "arrival_rate": 8,
+      "mechanism": "comp-bonus",
+      "deviations": [{"agent": 0, "bid_mult": 3.0, "exec_mult": 1.5}]
+    })";
+  }
+  const auto result = cli({"config", "--file", path, "--json"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("\"agents\""), std::string::npos);
+  // Same round through `run` must agree.
+  const auto direct = cli({"run", "--types", "1,2,4", "--rate", "8",
+                           "--deviate", "0:3:1.5", "--json"});
+  EXPECT_EQ(result.out, direct.out);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ConfigCommandReportsJsonErrors) {
+  const std::string path = ::testing::TempDir() + "lbmv_bad_config.json";
+  {
+    std::ofstream file(path);
+    file << "{ not json";
+  }
+  const auto result = cli({"config", "--file", path});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("config error"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, DynamicsAndLearnRun) {
+  const auto dynamics = cli({"dynamics", "--types", "1,2", "--rate", "4",
+                             "--rounds", "5"});
+  EXPECT_EQ(dynamics.code, 0) << dynamics.err;
+  EXPECT_NE(dynamics.out.find("final latency"), std::string::npos);
+  const auto learn = cli({"learn", "--types", "1,2", "--rate", "4",
+                          "--rounds", "60"});
+  EXPECT_EQ(learn.code, 0) << learn.err;
+  EXPECT_NE(learn.out.find("truthful fraction"), std::string::npos);
+}
+
+TEST(Cli, PoaCommandComputesKnownInstance) {
+  // Links l1 = 1 + x, l2 = x at unit demand: equilibrium L = 1,
+  // optimum L = 7/8, PoA = 8/7.
+  const auto result = cli({"poa", "--types", "1,1", "--constants", "1,0",
+                           "--rate", "1"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("1.1429"), std::string::npos);
+  EXPECT_EQ(cli({"poa", "--types", "1,1", "--constants", "1"}).code, 2);
+}
+
+TEST(Cli, PoaIsOneForPureLinearLinks) {
+  const auto result = cli({"poa", "--types", "1,2,5", "--rate", "10"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("price of anarchy:    1.0000"),
+            std::string::npos);
+}
+
+TEST(Cli, CoalitionCommandFlagsManipulablePairs) {
+  const auto result =
+      cli({"coalition", "--types", "1,1,2", "--rate", "6", "--pair", "0,1"});
+  EXPECT_EQ(result.code, 1);  // not coalition-proof
+  EXPECT_NE(result.out.find("coalition-proof:        NO"),
+            std::string::npos);
+  EXPECT_EQ(cli({"coalition", "--pair", "0"}).code, 2);
+}
+
+TEST(Cli, EpochsCommandReportsEfficiency) {
+  const auto fresh = cli({"epochs", "--types", "1,2", "--rate", "4",
+                          "--epochs", "15", "--drift", "0.2", "--lag", "0"});
+  EXPECT_EQ(fresh.code, 0) << fresh.err;
+  EXPECT_NE(fresh.out.find("mean efficiency"), std::string::npos);
+  EXPECT_NE(fresh.out.find("1.0000"), std::string::npos);  // fresh = optimal
+  const auto stale = cli({"epochs", "--types", "1,2", "--rate", "4",
+                          "--epochs", "15", "--drift", "0.2", "--lag", "3"});
+  EXPECT_EQ(stale.code, 0);
+  EXPECT_EQ(stale.out.find("mean efficiency (optimal/achieved): 1.0000"),
+            std::string::npos);  // degraded
+}
+
+TEST(Cli, ProtocolCommandRuns) {
+  const auto result = cli({"protocol", "--types", "0.01,0.02", "--rate", "2",
+                           "--horizon", "4000"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("messages: 6"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,249 @@
+// Tests for the compensation-and-bonus mechanism with verification —
+// the paper's Definition 3.3 — including the pinned numbers from §4.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "lbmv/alloc/convex_allocator.h"
+#include "lbmv/analysis/paper_config.h"
+#include "lbmv/core/comp_bonus.h"
+#include "lbmv/util/error.h"
+
+namespace {
+
+using lbmv::analysis::paper_table1_config;
+using lbmv::core::CompBonusMechanism;
+using lbmv::core::CompensationBasis;
+using lbmv::core::MechanismOutcome;
+using lbmv::model::BidProfile;
+using lbmv::model::SystemConfig;
+
+// Shared fixture values for the paper's Table 1 system at R = 20.
+constexpr double kLStar = 400.0 / 5.1;        // 78.4314 (True1 latency)
+constexpr double kLMinusC1 = 400.0 / 4.1;     // 97.5610 (optimum without C1)
+
+TEST(CompBonus, True1MatchesPaperHeadlineNumbers) {
+  const SystemConfig config = paper_table1_config();
+  CompBonusMechanism mechanism;
+  const MechanismOutcome outcome =
+      mechanism.run(config, BidProfile::truthful(config));
+
+  EXPECT_NEAR(outcome.actual_latency, kLStar, 1e-9);
+  EXPECT_NEAR(outcome.actual_latency, 78.43, 0.005);  // as printed in §4
+
+  const auto& c1 = outcome.agents[0];
+  const double x1 = 20.0 / 5.1;
+  EXPECT_NEAR(c1.allocation, x1, 1e-12);
+  EXPECT_NEAR(c1.compensation, x1 * x1, 1e-9);          // t~ = 1
+  EXPECT_NEAR(c1.bonus, kLMinusC1 - kLStar, 1e-9);      // 19.1296
+  EXPECT_NEAR(c1.valuation, -x1 * x1, 1e-9);
+  EXPECT_NEAR(c1.utility, c1.bonus, 1e-9);  // compensation cancels valuation
+}
+
+TEST(CompBonus, UtilityAlwaysEqualsBonusUnderExecutionBasis) {
+  // U_i = C_i + B_i + V_i with C_i = -V_i is the structural identity the
+  // truthfulness proof rests on; it must hold for arbitrary profiles.
+  const SystemConfig config({1.0, 2.0, 4.0}, 10.0);
+  CompBonusMechanism mechanism;
+  const BidProfile profile = BidProfile::deviate(config, 2, 1.7, 1.3);
+  const MechanismOutcome outcome = mechanism.run(config, profile);
+  for (const auto& agent : outcome.agents) {
+    EXPECT_NEAR(agent.utility, agent.bonus, 1e-9);
+    EXPECT_NEAR(agent.compensation, -agent.valuation, 1e-9);
+    EXPECT_NEAR(agent.payment, agent.compensation + agent.bonus, 1e-12);
+  }
+}
+
+TEST(CompBonus, BonusIsMarginalContribution) {
+  // B_i = L_{-i} - L: with everyone truthful, faster computers contribute
+  // more and earn strictly larger bonuses.
+  const SystemConfig config = paper_table1_config();
+  CompBonusMechanism mechanism;
+  const MechanismOutcome outcome =
+      mechanism.run(config, BidProfile::truthful(config));
+  // Group representatives: C1 (t=1), C3 (t=2), C6 (t=5), C11 (t=10).
+  const double b1 = outcome.agents[0].bonus;
+  const double b3 = outcome.agents[2].bonus;
+  const double b6 = outcome.agents[5].bonus;
+  const double b11 = outcome.agents[10].bonus;
+  EXPECT_GT(b1, b3);
+  EXPECT_GT(b3, b6);
+  EXPECT_GT(b6, b11);
+  EXPECT_GT(b11, 0.0);
+  // Closed forms: L_{-i} = R^2 / (5.1 - 1/t_i).
+  EXPECT_NEAR(b3, 400.0 / 4.6 - kLStar, 1e-9);
+  EXPECT_NEAR(b11, 400.0 / 5.0 - kLStar, 1e-9);
+}
+
+TEST(CompBonus, EqualAgentsGetEqualOutcomes) {
+  const SystemConfig config({2.0, 2.0, 2.0}, 6.0);
+  CompBonusMechanism mechanism;
+  const MechanismOutcome outcome =
+      mechanism.run(config, BidProfile::truthful(config));
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_NEAR(outcome.agents[i].payment, outcome.agents[0].payment, 1e-10);
+    EXPECT_NEAR(outcome.agents[i].utility, outcome.agents[0].utility, 1e-10);
+  }
+}
+
+TEST(CompBonus, SlowExecutionLowersEveryUtility) {
+  // When C1 slacks, the measured L rises, so *every* agent's bonus (and
+  // hence utility) drops — the mechanism socialises the damage it observed.
+  const SystemConfig config = paper_table1_config();
+  CompBonusMechanism mechanism;
+  const MechanismOutcome honest =
+      mechanism.run(config, BidProfile::truthful(config));
+  const MechanismOutcome slack =
+      mechanism.run(config, BidProfile::deviate(config, 0, 1.0, 2.0));
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    EXPECT_LT(slack.agents[i].utility, honest.agents[i].utility)
+        << "agent " << i;
+  }
+}
+
+TEST(CompBonus, Low2UtilityIsNegativePaymentStaysPositive) {
+  // The paper's Low2 discussion: bonus negative because L > L_{-1}.  Under
+  // Definition 3.3's execution-based compensation the *payment* nevertheless
+  // stays positive (|B| < C) — the documented inconsistency with the
+  // paper's prose; see EXPERIMENTS.md.
+  const SystemConfig config = paper_table1_config();
+  CompBonusMechanism mechanism;
+  const MechanismOutcome outcome =
+      mechanism.run(config, BidProfile::deviate(config, 0, 0.5, 2.0));
+  const auto& c1 = outcome.agents[0];
+  EXPECT_GT(outcome.actual_latency, kLMinusC1);  // L exceeds L_{-1}
+  EXPECT_LT(c1.bonus, 0.0);
+  EXPECT_LT(c1.utility, 0.0);
+  EXPECT_NEAR(c1.utility, -32.5116, 5e-4);
+  EXPECT_GT(c1.payment, 0.0);
+  EXPECT_NEAR(c1.payment, 53.4868, 5e-4);
+}
+
+TEST(CompBonus, BidBasisVariantMakesLow2PaymentNegative) {
+  // The ablation variant under which the paper's "payment ... is negative"
+  // sentence holds: C_i = b_i x_i^2 = 21.50 < |B_1| = 32.51.
+  const SystemConfig config = paper_table1_config();
+  CompBonusMechanism mechanism(lbmv::core::default_allocator(),
+                               CompensationBasis::kBid);
+  const MechanismOutcome outcome =
+      mechanism.run(config, BidProfile::deviate(config, 0, 0.5, 2.0));
+  const auto& c1 = outcome.agents[0];
+  EXPECT_LT(c1.payment, 0.0);
+  EXPECT_NEAR(c1.payment, -11.0120, 5e-4);
+  EXPECT_GT(std::fabs(c1.bonus), c1.compensation);
+}
+
+TEST(CompBonus, BidBasisAgreesWithExecutionBasisWhenConsistent) {
+  // When every agent executes exactly at its bid the two bases coincide.
+  const SystemConfig config({1.0, 3.0}, 5.0);
+  CompBonusMechanism exec_basis;
+  CompBonusMechanism bid_basis(lbmv::core::default_allocator(),
+                               CompensationBasis::kBid);
+  BidProfile profile = BidProfile::truthful(config);
+  profile.bids[0] = 2.0;
+  profile.executions[0] = 2.0;  // consistent over-bid
+  const auto a = exec_basis.run(config, profile);
+  const auto b = bid_basis.run(config, profile);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(a.agents[i].payment, b.agents[i].payment, 1e-10);
+  }
+}
+
+TEST(CompBonus, TwoAgentSystemWorks) {
+  const SystemConfig config({1.0, 1.0}, 2.0);
+  CompBonusMechanism mechanism;
+  const MechanismOutcome outcome =
+      mechanism.run(config, BidProfile::truthful(config));
+  // x = (1, 1); L = 2; L_{-i} = R^2 / 1 = 4; bonus = 2 each.
+  EXPECT_NEAR(outcome.actual_latency, 2.0, 1e-12);
+  EXPECT_NEAR(outcome.agents[0].bonus, 2.0, 1e-12);
+  EXPECT_NEAR(outcome.agents[0].payment, 1.0 + 2.0, 1e-12);
+}
+
+TEST(CompBonus, SingleAgentRejected) {
+  const SystemConfig config({1.0}, 2.0);
+  CompBonusMechanism mechanism;
+  EXPECT_THROW((void)mechanism.run(config, BidProfile::truthful(config)),
+               lbmv::util::PreconditionError);
+}
+
+TEST(CompBonus, ReportedVsActualLatencyDiverge) {
+  const SystemConfig config({1.0, 2.0}, 6.0);
+  CompBonusMechanism mechanism;
+  const MechanismOutcome outcome =
+      mechanism.run(config, BidProfile::deviate(config, 0, 1.0, 3.0));
+  EXPECT_GT(outcome.actual_latency, outcome.reported_latency);
+}
+
+TEST(CompBonus, GeneralisesToMm1WithConvexAllocator) {
+  // Extension: same construction on the companion paper's M/M/1 model.
+  // Every leave-one-out subsystem must still absorb R (mu = {5, 4, 3},
+  // R = 4): the bonus term is undefined otherwise (see the test below).
+  auto family = std::make_shared<lbmv::model::MM1Family>();
+  const SystemConfig config({0.2, 0.25, 1.0 / 3.0}, 4.0, family);
+  CompBonusMechanism mechanism(
+      std::make_shared<lbmv::alloc::ConvexAllocator>());
+  const MechanismOutcome outcome =
+      mechanism.run(config, BidProfile::truthful(config));
+  EXPECT_TRUE(outcome.allocation.is_feasible(4.0, 1e-8));
+  for (const auto& agent : outcome.agents) {
+    EXPECT_GE(agent.utility, -1e-8);  // voluntary participation
+    EXPECT_NEAR(agent.utility, agent.bonus, 1e-8);
+  }
+}
+
+TEST(CompBonus, Mm1LeaveOneOutInfeasibilityIsRejected) {
+  // If removing a computer leaves too little capacity for R, the bonus term
+  // L_{-i} is undefined; the mechanism must refuse loudly rather than pay
+  // garbage.  mu = {5, 2}, R = 4: without the fast machine only 2 remains.
+  auto family = std::make_shared<lbmv::model::MM1Family>();
+  const SystemConfig config({0.2, 0.5}, 4.0, family);
+  CompBonusMechanism mechanism(
+      std::make_shared<lbmv::alloc::ConvexAllocator>());
+  EXPECT_THROW((void)mechanism.run(config, BidProfile::truthful(config)),
+               lbmv::util::PreconditionError);
+}
+
+TEST(CompBonus, PaymentIdenticalToClarkeForUnilateralSlack) {
+  // Structural identity: when only agent i deviates (others execute at
+  // their bids), the verified compensation rise exactly cancels the bonus
+  // drop, so the deviator's *payment* equals the Clarke payment
+  // L_{-i} - sum_{j!=i} b_j x_j^2 and is independent of its own execution
+  // value.  Verification shows up in the deviator's utility and in the
+  // *other* agents' payments instead (see the next test).
+  const SystemConfig config({1.0, 2.0, 5.0}, 10.0);
+  CompBonusMechanism mechanism;
+  const auto honest = mechanism.run(config, BidProfile::truthful(config));
+  const auto slack =
+      mechanism.run(config, BidProfile::deviate(config, 0, 1.0, 2.5));
+  EXPECT_NEAR(slack.agents[0].payment, honest.agents[0].payment, 1e-9);
+  EXPECT_LT(slack.agents[0].utility, honest.agents[0].utility);
+}
+
+TEST(CompBonus, SlackIsSocialisedThroughOtherAgentsPayments) {
+  // ... and here is where the verified mechanism differs from VCG: agent
+  // 0's slack lowers every *other* agent's bonus (and hence payment),
+  // because their bonuses are anchored to the measured total latency.
+  const SystemConfig config({1.0, 2.0, 5.0}, 10.0);
+  CompBonusMechanism mechanism;
+  const auto honest = mechanism.run(config, BidProfile::truthful(config));
+  const auto slack =
+      mechanism.run(config, BidProfile::deviate(config, 0, 1.0, 2.5));
+  for (std::size_t j = 1; j < config.size(); ++j) {
+    EXPECT_LT(slack.agents[j].payment, honest.agents[j].payment)
+        << "agent " << j;
+  }
+}
+
+TEST(CompBonus, NameReflectsBasis) {
+  CompBonusMechanism exec_basis;
+  CompBonusMechanism bid_basis(lbmv::core::default_allocator(),
+                               CompensationBasis::kBid);
+  EXPECT_EQ(exec_basis.name(), "comp-bonus");
+  EXPECT_NE(bid_basis.name().find("bid"), std::string::npos);
+  EXPECT_TRUE(exec_basis.uses_verification());
+}
+
+}  // namespace

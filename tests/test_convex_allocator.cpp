@@ -1,0 +1,222 @@
+// Tests for the general convex allocator, including parameterized property
+// sweeps certifying agreement with the closed forms and KKT optimality.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "lbmv/alloc/convex_allocator.h"
+#include "lbmv/alloc/kkt.h"
+#include "lbmv/alloc/mm1_allocator.h"
+#include "lbmv/alloc/pr_allocator.h"
+#include "lbmv/model/latency.h"
+#include "lbmv/util/error.h"
+#include "lbmv/util/rng.h"
+
+namespace {
+
+using namespace lbmv::model;
+using lbmv::alloc::check_kkt;
+using lbmv::alloc::convex_allocate;
+using lbmv::alloc::ConvexAllocator;
+using lbmv::alloc::mm1_allocate;
+using lbmv::alloc::pr_allocate;
+
+std::vector<std::unique_ptr<LatencyFunction>> linear_curves(
+    const std::vector<double>& t) {
+  std::vector<std::unique_ptr<LatencyFunction>> fns;
+  for (double ti : t) fns.push_back(std::make_unique<LinearLatency>(ti));
+  return fns;
+}
+
+TEST(ConvexAllocate, MatchesPrClosedFormOnLinear) {
+  const std::vector<double> t{1.0, 2.0, 5.0, 10.0};
+  const double R = 20.0;
+  const auto fns = linear_curves(t);
+  const Allocation numeric = convex_allocate(fns, R);
+  const Allocation closed = pr_allocate(t, R);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_NEAR(numeric[i], closed[i], 1e-9) << "computer " << i;
+  }
+}
+
+TEST(ConvexAllocate, FeasibleAndKktCertifiedOnMm1) {
+  std::vector<std::unique_ptr<LatencyFunction>> fns;
+  fns.push_back(std::make_unique<MM1Latency>(10.0));
+  fns.push_back(std::make_unique<MM1Latency>(6.0));
+  fns.push_back(std::make_unique<MM1Latency>(3.0));
+  const double R = 12.0;
+  const Allocation x = convex_allocate(fns, R);
+  EXPECT_TRUE(x.is_feasible(R, 1e-9));
+  const auto report = check_kkt(x, fns, R, 1e-6);
+  EXPECT_TRUE(report.optimal()) << report.describe();
+}
+
+TEST(ConvexAllocate, MatchesMm1ClosedForm) {
+  const std::vector<double> mus{10.0, 6.0, 3.0};
+  const double R = 12.0;
+  std::vector<std::unique_ptr<LatencyFunction>> fns;
+  for (double mu : mus) fns.push_back(std::make_unique<MM1Latency>(mu));
+  const Allocation numeric = convex_allocate(fns, R);
+  const Allocation closed = mm1_allocate(mus, R);
+  for (std::size_t i = 0; i < mus.size(); ++i) {
+    EXPECT_NEAR(numeric[i], closed[i], 1e-7) << "computer " << i;
+  }
+}
+
+TEST(ConvexAllocate, IdlesSlowComputersWhenOptimal) {
+  // M/M/1 with a tiny load: slow machines should receive nothing because
+  // their marginal cost at zero exceeds the multiplier.
+  std::vector<std::unique_ptr<LatencyFunction>> fns;
+  fns.push_back(std::make_unique<MM1Latency>(100.0));
+  fns.push_back(std::make_unique<MM1Latency>(0.5));
+  const Allocation x = convex_allocate(fns, 0.05);
+  EXPECT_GT(x[0], 0.049);
+  EXPECT_NEAR(x[1], 0.0, 1e-9);
+}
+
+TEST(ConvexAllocate, RejectsOverCapacityLoad) {
+  std::vector<std::unique_ptr<LatencyFunction>> fns;
+  fns.push_back(std::make_unique<MM1Latency>(1.0));
+  fns.push_back(std::make_unique<MM1Latency>(2.0));
+  EXPECT_THROW((void)convex_allocate(fns, 3.5),
+               lbmv::util::PreconditionError);
+}
+
+TEST(ConvexAllocate, RejectsEmptyAndBadRate) {
+  std::vector<std::unique_ptr<LatencyFunction>> empty;
+  EXPECT_THROW((void)convex_allocate(empty, 1.0),
+               lbmv::util::PreconditionError);
+  auto fns = linear_curves({1.0});
+  EXPECT_THROW((void)convex_allocate(fns, -1.0),
+               lbmv::util::PreconditionError);
+}
+
+TEST(ConvexAllocatorInterface, WorksThroughFamilies) {
+  ConvexAllocator allocator;
+  LinearFamily linear;
+  const std::vector<double> t{1.0, 3.0};
+  const Allocation x = allocator.allocate(linear, t, 8.0);
+  const Allocation closed = pr_allocate(t, 8.0);
+  EXPECT_NEAR(x[0], closed[0], 1e-8);
+  EXPECT_NEAR(allocator.optimal_latency(linear, t, 8.0),
+              lbmv::alloc::pr_optimal_latency(t, 8.0), 1e-7);
+  EXPECT_EQ(allocator.name(), "convex");
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: on random linear instances the numeric solver must agree
+// with the PR closed form and pass the KKT check.
+
+struct RandomInstanceParam {
+  std::uint64_t seed;
+  std::size_t n;
+};
+
+class ConvexVsClosedForm
+    : public ::testing::TestWithParam<RandomInstanceParam> {};
+
+TEST_P(ConvexVsClosedForm, AgreesWithPrAndKkt) {
+  const auto param = GetParam();
+  lbmv::util::Rng rng(param.seed);
+  std::vector<double> t(param.n);
+  for (double& ti : t) ti = std::exp(rng.uniform(std::log(0.1), std::log(50.0)));
+  const double R = rng.uniform(1.0, 100.0);
+
+  const auto fns = linear_curves(t);
+  const Allocation numeric = convex_allocate(fns, R);
+  const Allocation closed = pr_allocate(t, R);
+  EXPECT_TRUE(numeric.is_feasible(R, 1e-9));
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_NEAR(numeric[i], closed[i], 1e-7 * R) << "computer " << i;
+  }
+  EXPECT_TRUE(check_kkt(numeric, fns, R, 1e-6).optimal());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomLinearInstances, ConvexVsClosedForm,
+    ::testing::Values(RandomInstanceParam{1, 2}, RandomInstanceParam{2, 3},
+                      RandomInstanceParam{3, 4}, RandomInstanceParam{4, 8},
+                      RandomInstanceParam{5, 16}, RandomInstanceParam{6, 16},
+                      RandomInstanceParam{7, 32}, RandomInstanceParam{8, 64},
+                      RandomInstanceParam{9, 128},
+                      RandomInstanceParam{10, 256}),
+    [](const ::testing::TestParamInfo<RandomInstanceParam>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.n);
+    });
+
+// Property sweep on random M/M/1 instances: numeric vs closed form + KKT.
+class ConvexVsMm1 : public ::testing::TestWithParam<RandomInstanceParam> {};
+
+TEST_P(ConvexVsMm1, AgreesWithClosedFormAndKkt) {
+  const auto param = GetParam();
+  lbmv::util::Rng rng(param.seed * 1000 + 17);
+  std::vector<double> mus(param.n);
+  double total_mu = 0.0;
+  for (double& mu : mus) {
+    mu = rng.uniform(0.5, 20.0);
+    total_mu += mu;
+  }
+  const double R = rng.uniform(0.1, 0.85) * total_mu;
+
+  std::vector<std::unique_ptr<LatencyFunction>> fns;
+  for (double mu : mus) fns.push_back(std::make_unique<MM1Latency>(mu));
+  const Allocation numeric = convex_allocate(fns, R);
+  const Allocation closed = mm1_allocate(mus, R);
+  for (std::size_t i = 0; i < mus.size(); ++i) {
+    EXPECT_NEAR(numeric[i], closed[i], 1e-6 * std::max(1.0, R))
+        << "computer " << i;
+  }
+  EXPECT_TRUE(check_kkt(numeric, fns, R, 1e-5).optimal());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomMm1Instances, ConvexVsMm1,
+    ::testing::Values(RandomInstanceParam{1, 2}, RandomInstanceParam{2, 3},
+                      RandomInstanceParam{3, 5}, RandomInstanceParam{4, 8},
+                      RandomInstanceParam{5, 13}, RandomInstanceParam{6, 21},
+                      RandomInstanceParam{7, 34}, RandomInstanceParam{8, 55}),
+    [](const ::testing::TestParamInfo<RandomInstanceParam>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.n);
+    });
+
+// Property sweep on power-law latencies: no closed form, but feasibility,
+// KKT and superiority over the proportional heuristic must hold.
+class ConvexOnPowerLaw : public ::testing::TestWithParam<RandomInstanceParam> {
+};
+
+TEST_P(ConvexOnPowerLaw, KktCertifiedAndBeatsProportionalSplit) {
+  const auto param = GetParam();
+  lbmv::util::Rng rng(param.seed * 31 + 5);
+  const double k = rng.uniform(1.2, 3.0);
+  std::vector<double> t(param.n);
+  for (double& ti : t) ti = rng.uniform(0.2, 8.0);
+  const double R = rng.uniform(2.0, 40.0);
+
+  PowerFamily family(k);
+  std::vector<std::unique_ptr<LatencyFunction>> fns;
+  for (double ti : t) fns.push_back(family.make(ti));
+
+  const Allocation x = convex_allocate(fns, R);
+  EXPECT_TRUE(x.is_feasible(R, 1e-9));
+  EXPECT_TRUE(check_kkt(x, fns, R, 1e-5).optimal());
+
+  const Allocation heuristic = pr_allocate(t, R);
+  EXPECT_LE(total_latency(x, fns), total_latency(heuristic, fns) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomPowerInstances, ConvexOnPowerLaw,
+    ::testing::Values(RandomInstanceParam{1, 2}, RandomInstanceParam{2, 4},
+                      RandomInstanceParam{3, 6}, RandomInstanceParam{4, 9},
+                      RandomInstanceParam{5, 16}, RandomInstanceParam{6, 25}),
+    [](const ::testing::TestParamInfo<RandomInstanceParam>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.n);
+    });
+
+}  // namespace

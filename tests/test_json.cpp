@@ -1,0 +1,128 @@
+// Unit tests for the JSON reader/writer.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lbmv/util/json.h"
+
+namespace {
+
+using lbmv::util::JsonError;
+using lbmv::util::JsonValue;
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_EQ(JsonValue::parse("true").as_bool(), true);
+  EXPECT_EQ(JsonValue::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const auto doc = JsonValue::parse(R"({
+    "true_values": [1.0, 2, 5, 10],
+    "arrival_rate": 20,
+    "deviations": [{"agent": 0, "bid_mult": 3.0}],
+    "note": "reconstructed"
+  })");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("true_values").as_array().size(), 4u);
+  EXPECT_DOUBLE_EQ(doc.at("true_values").at(1).as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(doc.at("arrival_rate").as_number(), 20.0);
+  EXPECT_DOUBLE_EQ(doc.at("deviations").at(0).at("agent").as_number(), 0.0);
+  EXPECT_EQ(doc.at("note").as_string(), "reconstructed");
+}
+
+TEST(Json, StringEscapes) {
+  const auto v = JsonValue::parse(R"("a\"b\\c\nd\tA")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nd\tA");
+  // Non-ASCII \u escapes become UTF-8.
+  EXPECT_EQ(JsonValue::parse(R"("é")").as_string(), "\xc3\xa9");
+  EXPECT_EQ(JsonValue::parse(R"("€")").as_string(), "\xe2\x82\xac");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "[1 2]", "{\"a\":}", "tru", "01x", "\"unterminated",
+        "[1] garbage", "{\"a\" 1}", "\"bad \\q escape\"", "nan",
+        "\"\\ud800\""}) {
+    EXPECT_THROW((void)JsonValue::parse(bad), JsonError) << bad;
+  }
+}
+
+TEST(Json, ErrorsCarryPosition) {
+  try {
+    (void)JsonValue::parse("{\n  \"a\": [1, }\n}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+  }
+}
+
+TEST(Json, TypeMismatchesThrow) {
+  const auto v = JsonValue::parse("[1, 2]");
+  EXPECT_THROW((void)v.as_object(), JsonError);
+  EXPECT_THROW((void)v.as_number(), JsonError);
+  EXPECT_THROW((void)v.at("key"), JsonError);
+  EXPECT_THROW((void)v.at(5), JsonError);
+  EXPECT_FALSE(v.contains("key"));
+}
+
+TEST(Json, NumberOrFallback) {
+  const auto v = JsonValue::parse(R"({"x": 2.5})");
+  EXPECT_DOUBLE_EQ(v.number_or("x", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(v.number_or("missing", 7.0), 7.0);
+}
+
+TEST(Json, DumpCompactRoundTrips) {
+  const char* docs[] = {
+      "null",
+      "[1,2.5,\"x\",true,null]",
+      R"({"a":[{"b":1},{}],"c":"d\ne"})",
+      "[]",
+      "{}",
+  };
+  for (const char* doc : docs) {
+    const auto parsed = JsonValue::parse(doc);
+    const auto reparsed = JsonValue::parse(parsed.dump());
+    EXPECT_TRUE(parsed == reparsed) << doc;
+  }
+}
+
+TEST(Json, DumpPrettyIsIndentedAndReparses) {
+  const auto v = JsonValue::parse(R"({"a": [1, 2], "b": {"c": true}})");
+  const std::string pretty = v.dump(2);
+  EXPECT_NE(pretty.find("\n  \"a\": ["), std::string::npos) << pretty;
+  EXPECT_TRUE(JsonValue::parse(pretty) == v);
+}
+
+TEST(Json, NumbersDumpLosslessly) {
+  for (double d : {0.1, 1.0 / 3.0, 78.43137254901961, -1e-9, 12345.0}) {
+    const JsonValue v(d);
+    EXPECT_DOUBLE_EQ(JsonValue::parse(v.dump()).as_number(), d);
+  }
+  // Integral doubles print as integers.
+  EXPECT_EQ(JsonValue(20.0).dump(), "20");
+}
+
+TEST(Json, ValueConstructionAndEquality) {
+  JsonValue::Object object;
+  object["k"] = JsonValue(1.0);
+  const JsonValue a(object);
+  const JsonValue b = JsonValue::parse(R"({"k": 1})");
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.type(), JsonValue::Type::kObject);
+  EXPECT_EQ(JsonValue("s").type(), JsonValue::Type::kString);
+  EXPECT_EQ(JsonValue(3).type(), JsonValue::Type::kNumber);
+}
+
+TEST(Json, DeepNestingGuard) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_THROW((void)JsonValue::parse(deep), JsonError);
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// Tests for the KKT optimality verifier and the M/M/1 closed form.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "lbmv/alloc/kkt.h"
+#include "lbmv/alloc/mm1_allocator.h"
+#include "lbmv/alloc/pr_allocator.h"
+#include "lbmv/model/latency.h"
+#include "lbmv/util/error.h"
+
+namespace {
+
+using namespace lbmv::model;
+using lbmv::alloc::check_kkt;
+using lbmv::alloc::mm1_allocate;
+using lbmv::alloc::MM1Allocator;
+using lbmv::alloc::pr_allocate;
+
+std::vector<std::unique_ptr<LatencyFunction>> linear_curves(
+    const std::vector<double>& t) {
+  std::vector<std::unique_ptr<LatencyFunction>> fns;
+  for (double ti : t) fns.push_back(std::make_unique<LinearLatency>(ti));
+  return fns;
+}
+
+TEST(Kkt, CertifiesPrAllocation) {
+  const std::vector<double> t{1.0, 2.0, 5.0, 10.0};
+  const double R = 20.0;
+  const auto x = pr_allocate(t, R);
+  const auto fns = linear_curves(t);
+  const auto report = check_kkt(x, fns, R);
+  EXPECT_TRUE(report.optimal()) << report.describe();
+  // For linear latencies the multiplier is 2R / sum(1/t); here
+  // sum(1/t) = 1 + 1/2 + 1/5 + 1/10 = 1.8.
+  EXPECT_NEAR(report.lambda, 2.0 * R / 1.8, 1e-9);
+}
+
+TEST(Kkt, RejectsSuboptimalFeasibleAllocation) {
+  const std::vector<double> t{1.0, 2.0};
+  const double R = 9.0;
+  const auto fns = linear_curves(t);
+  // Feasible but not proportional: marginals differ.
+  const Allocation bad({4.5, 4.5});
+  const auto report = check_kkt(bad, fns, R);
+  EXPECT_TRUE(report.conservation_ok);
+  EXPECT_TRUE(report.positivity_ok);
+  EXPECT_FALSE(report.stationarity_ok);
+  EXPECT_FALSE(report.optimal());
+}
+
+TEST(Kkt, RejectsInfeasibleAllocation) {
+  const std::vector<double> t{1.0, 2.0};
+  const auto fns = linear_curves(t);
+  const Allocation wrong_total({1.0, 1.0});
+  EXPECT_FALSE(check_kkt(wrong_total, fns, 9.0).conservation_ok);
+  const Allocation negative({10.0, -1.0});
+  EXPECT_FALSE(check_kkt(negative, fns, 9.0).positivity_ok);
+}
+
+TEST(Kkt, AcceptsIdleComputersWithDominatedMarginals) {
+  // M/M/1 where the slow machine is optimally idle.
+  std::vector<std::unique_ptr<LatencyFunction>> fns;
+  fns.push_back(std::make_unique<MM1Latency>(100.0));
+  fns.push_back(std::make_unique<MM1Latency>(0.5));
+  const Allocation x({0.05, 0.0});
+  EXPECT_TRUE(check_kkt(x, fns, 0.05, 1e-5).optimal());
+}
+
+TEST(Kkt, FlagsIdleComputerThatWantsLoad) {
+  // Both machines identical but one idles: the idle one's marginal at zero
+  // is below the active one's marginal, violating stationarity.
+  const std::vector<double> t{1.0, 1.0};
+  const auto fns = linear_curves(t);
+  const Allocation x({2.0, 0.0});
+  EXPECT_FALSE(check_kkt(x, fns, 2.0).optimal());
+}
+
+TEST(Kkt, DescribeMentionsEachCondition) {
+  const std::vector<double> t{1.0};
+  const auto fns = linear_curves(t);
+  const auto report = check_kkt(Allocation({1.0}), fns, 1.0);
+  const std::string text = report.describe();
+  EXPECT_NE(text.find("positivity"), std::string::npos);
+  EXPECT_NE(text.find("conservation"), std::string::npos);
+  EXPECT_NE(text.find("stationarity"), std::string::npos);
+}
+
+TEST(Mm1ClosedForm, DropsSlowServerWhenLoadIsLight) {
+  // mu = (4, 1), R = 1.  With both active c = 4/3 and x_2 < 0, so server 2
+  // is dropped; then c = (4 - 1)/2 = 1.5 and x_1 = 4 - 1.5*2 = 1.
+  const std::vector<double> mus{4.0, 1.0};
+  const Allocation x = mm1_allocate(mus, 1.0);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+}
+
+TEST(Mm1ClosedForm, AllServersActiveUnderHeavyLoad) {
+  const std::vector<double> mus{4.0, 1.0};
+  const double R = 4.0;
+  const Allocation x = mm1_allocate(mus, R);
+  EXPECT_GT(x[0], 0.0);
+  EXPECT_GT(x[1], 0.0);
+  EXPECT_TRUE(x.is_feasible(R, 1e-12));
+  // Verify against KKT on the actual curves.
+  std::vector<std::unique_ptr<LatencyFunction>> fns;
+  for (double mu : mus) fns.push_back(std::make_unique<MM1Latency>(mu));
+  EXPECT_TRUE(check_kkt(x, fns, R, 1e-9).optimal());
+}
+
+TEST(Mm1ClosedForm, RejectsOverload) {
+  EXPECT_THROW((void)mm1_allocate(std::vector<double>{1.0, 2.0}, 3.0),
+               lbmv::util::PreconditionError);
+}
+
+TEST(Mm1AllocatorInterface, InterpretsTypesAsMeanServiceTimes) {
+  MM1Allocator allocator;
+  MM1Family family;
+  const std::vector<double> theta{0.25, 1.0};  // mu = 4, 1
+  const Allocation via = allocator.allocate(family, theta, 4.0);
+  const Allocation direct = mm1_allocate(std::vector<double>{4.0, 1.0}, 4.0);
+  EXPECT_NEAR(via[0], direct[0], 1e-12);
+  EXPECT_NEAR(via[1], direct[1], 1e-12);
+}
+
+TEST(Mm1AllocatorInterface, RejectsWrongFamily) {
+  MM1Allocator allocator;
+  LinearFamily family;
+  EXPECT_THROW(
+      (void)allocator.allocate(family, std::vector<double>{1.0, 2.0}, 1.0),
+      lbmv::util::PreconditionError);
+}
+
+}  // namespace

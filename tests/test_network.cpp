@@ -1,0 +1,125 @@
+// Tests for the simulated message-passing network.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lbmv/dist/network.h"
+#include "lbmv/util/error.h"
+
+namespace {
+
+using namespace lbmv::dist;
+using lbmv::sim::Simulation;
+
+TEST(Network, DeliversMessagesToHandlers) {
+  Simulation sim;
+  Network network(sim, 2);
+  std::vector<double> received;
+  network.set_handler(1, [&](const Message& msg) {
+    received = msg.payload;
+    EXPECT_EQ(msg.from, 0u);
+    EXPECT_EQ(msg.type, "bid");
+  });
+  sim.schedule(0.0, [&] { network.send({0, 1, "bid", {2.5, 3.5}}); });
+  sim.run();
+  EXPECT_EQ(received, (std::vector<double>{2.5, 3.5}));
+}
+
+TEST(Network, DelayIsBasePlusPerDouble) {
+  Simulation sim;
+  Network::Options options;
+  options.base_delay = 1.0;
+  options.per_double_delay = 0.5;
+  Network network(sim, 2, options);
+  double delivery_time = -1.0;
+  network.set_handler(1, [&](const Message&) { delivery_time = sim.now(); });
+  sim.schedule(0.0, [&] { network.send({0, 1, "x", {1.0, 2.0, 3.0}}); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(delivery_time, 1.0 + 3 * 0.5);
+}
+
+TEST(Network, CountsMessagesDoublesAndTypes) {
+  Simulation sim;
+  Network network(sim, 3);
+  for (NodeId i = 0; i < 3; ++i) network.set_handler(i, [](const Message&) {});
+  sim.schedule(0.0, [&] {
+    network.send({0, 1, "bid", {1.0}});
+    network.send({1, 2, "bid", {2.0}});
+    network.send({2, 0, "pay", {3.0, 4.0}});
+  });
+  sim.run();
+  EXPECT_EQ(network.messages_sent(), 3u);
+  EXPECT_EQ(network.doubles_sent(), 4u);
+  EXPECT_EQ(network.by_type().at("bid"), 2u);
+  EXPECT_EQ(network.by_type().at("pay"), 1u);
+}
+
+TEST(Network, FifoBetweenEqualDelayMessages) {
+  Simulation sim;
+  Network network(sim, 2);
+  std::vector<int> order;
+  network.set_handler(1, [&](const Message& msg) {
+    order.push_back(static_cast<int>(msg.payload[0]));
+  });
+  sim.schedule(0.0, [&] {
+    for (int k = 0; k < 5; ++k) {
+      network.send({0, 1, "seq", {static_cast<double>(k), 0.0}});
+    }
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Network, SelfSendIsAllowed) {
+  Simulation sim;
+  Network network(sim, 1);
+  bool delivered = false;
+  network.set_handler(0, [&](const Message&) { delivered = true; });
+  sim.schedule(0.0, [&] { network.send({0, 0, "self", {}}); });
+  sim.run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(Network, ValidatesEndpointsAndOptions) {
+  Simulation sim;
+  Network network(sim, 2);
+  network.set_handler(0, [](const Message&) {});
+  EXPECT_THROW(network.send({0, 5, "x", {}}),
+               lbmv::util::PreconditionError);
+  EXPECT_THROW(network.set_handler(7, [](const Message&) {}),
+               lbmv::util::PreconditionError);
+  Network::Options bad;
+  bad.base_delay = -1.0;
+  EXPECT_THROW(Network(sim, 2, bad), lbmv::util::PreconditionError);
+  EXPECT_THROW(Network(sim, 0), lbmv::util::PreconditionError);
+}
+
+TEST(Network, MissingHandlerFailsLoudlyAtDelivery) {
+  Simulation sim;
+  Network network(sim, 2);
+  sim.schedule(0.0, [&] { network.send({0, 1, "x", {}}); });
+  EXPECT_THROW(sim.run(), lbmv::util::PreconditionError);
+}
+
+TEST(Network, JitterIsDeterministicPerSeed) {
+  auto deliveries = [](std::uint64_t seed) {
+    Simulation sim;
+    Network::Options options;
+    options.jitter = 0.5;
+    options.seed = seed;
+    Network network(sim, 2, options);
+    std::vector<double> times;
+    network.set_handler(1,
+                        [&](const Message&) { times.push_back(sim.now()); });
+    sim.schedule(0.0, [&] {
+      for (int k = 0; k < 4; ++k) network.send({0, 1, "x", {}});
+    });
+    sim.run();
+    return times;
+  };
+  EXPECT_EQ(deliveries(3), deliveries(3));
+  EXPECT_NE(deliveries(3), deliveries(4));
+}
+
+}  // namespace

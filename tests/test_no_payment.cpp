@@ -1,0 +1,71 @@
+// Tests for the classical no-payment baseline: the protocol the paper's
+// mechanism exists to replace.  Its defining property is that lying pays.
+
+#include <gtest/gtest.h>
+
+#include "lbmv/core/no_payment.h"
+#include "lbmv/model/bids.h"
+
+namespace {
+
+using lbmv::core::NoPaymentMechanism;
+using lbmv::model::BidProfile;
+using lbmv::model::SystemConfig;
+
+TEST(NoPayment, AllPaymentsAreZero) {
+  const SystemConfig config({1.0, 2.0, 5.0}, 10.0);
+  NoPaymentMechanism mechanism;
+  const auto outcome =
+      mechanism.run(config, BidProfile::deviate(config, 0, 3.0, 2.0));
+  for (const auto& agent : outcome.agents) {
+    EXPECT_DOUBLE_EQ(agent.payment, 0.0);
+    EXPECT_DOUBLE_EQ(agent.compensation, 0.0);
+    EXPECT_DOUBLE_EQ(agent.bonus, 0.0);
+    EXPECT_DOUBLE_EQ(agent.utility, agent.valuation);
+  }
+}
+
+TEST(NoPayment, TruthfulUtilityIsNegative) {
+  // Without payments, participating at all costs the agent its latency.
+  const SystemConfig config({1.0, 2.0}, 4.0);
+  NoPaymentMechanism mechanism;
+  const auto outcome = mechanism.run(config, BidProfile::truthful(config));
+  for (const auto& agent : outcome.agents) {
+    EXPECT_LT(agent.utility, 0.0);
+  }
+}
+
+TEST(NoPayment, OverbiddingStrictlyImprovesUtility) {
+  // The manipulation the paper's introduction warns about: pretend to be
+  // slow, receive fewer jobs, pay nothing — utility rises toward zero.
+  const SystemConfig config({1.0, 2.0, 5.0}, 10.0);
+  NoPaymentMechanism mechanism;
+  const double truthful_u =
+      mechanism.run(config, BidProfile::truthful(config)).agents[0].utility;
+  double prev = truthful_u;
+  for (double mult : {2.0, 5.0, 20.0}) {
+    const auto outcome =
+        mechanism.run(config, BidProfile::deviate(config, 0, mult, 1.0));
+    EXPECT_GT(outcome.agents[0].utility, prev);
+    prev = outcome.agents[0].utility;
+  }
+}
+
+TEST(NoPayment, ManipulationDegradesTheSystem) {
+  // ... and the same manipulation strictly increases total latency.
+  const SystemConfig config({1.0, 2.0, 5.0}, 10.0);
+  NoPaymentMechanism mechanism;
+  const double optimal =
+      mechanism.run(config, BidProfile::truthful(config)).actual_latency;
+  const auto manipulated =
+      mechanism.run(config, BidProfile::deviate(config, 0, 5.0, 1.0));
+  EXPECT_GT(manipulated.actual_latency, optimal);
+}
+
+TEST(NoPayment, DoesNotClaimVerification) {
+  NoPaymentMechanism mechanism;
+  EXPECT_FALSE(mechanism.uses_verification());
+  EXPECT_EQ(mechanism.name(), "no-payment");
+}
+
+}  // namespace

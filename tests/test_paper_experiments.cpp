@@ -1,0 +1,183 @@
+// Pins the reconstructed paper evaluation: Table 1/2 and the quantitative
+// claims behind Figures 1, 2 and 6.  These are the repository's ground-truth
+// reproduction checks; EXPERIMENTS.md documents each against the paper.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lbmv/analysis/paper_config.h"
+#include "lbmv/analysis/paper_experiments.h"
+#include "lbmv/core/comp_bonus.h"
+#include "lbmv/core/frugality.h"
+#include "lbmv/util/error.h"
+
+namespace {
+
+using namespace lbmv::analysis;
+using lbmv::core::CompBonusMechanism;
+using lbmv::core::frugality_of;
+
+class PaperExperiments : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_ = std::make_unique<lbmv::model::SystemConfig>(
+        paper_table1_config());
+    results_ = run_paper_experiments(mechanism_, *config_);
+  }
+
+  const ExperimentResult& result(const std::string& name) const {
+    for (const auto& r : results_) {
+      if (r.experiment.name == name) return r;
+    }
+    throw std::runtime_error("missing experiment " + name);
+  }
+
+  CompBonusMechanism mechanism_;
+  std::unique_ptr<lbmv::model::SystemConfig> config_;
+  std::vector<ExperimentResult> results_;
+};
+
+TEST_F(PaperExperiments, Table1HasSixteenComputersInFourGroups) {
+  EXPECT_EQ(config_->size(), 16u);
+  EXPECT_DOUBLE_EQ(config_->arrival_rate(), 20.0);
+  EXPECT_DOUBLE_EQ(config_->true_value(0), 1.0);   // C1
+  EXPECT_DOUBLE_EQ(config_->true_value(1), 1.0);   // C2
+  EXPECT_DOUBLE_EQ(config_->true_value(2), 2.0);   // C3
+  EXPECT_DOUBLE_EQ(config_->true_value(4), 2.0);   // C5
+  EXPECT_DOUBLE_EQ(config_->true_value(5), 5.0);   // C6
+  EXPECT_DOUBLE_EQ(config_->true_value(9), 5.0);   // C10
+  EXPECT_DOUBLE_EQ(config_->true_value(10), 10.0); // C11
+  EXPECT_DOUBLE_EQ(config_->true_value(15), 10.0); // C16
+  // The reconstruction's anchor: sum of inverse types is exactly 5.1.
+  double inv = 0.0;
+  for (double t : config_->true_values()) inv += 1.0 / t;
+  EXPECT_NEAR(inv, 5.1, 1e-12);
+}
+
+TEST_F(PaperExperiments, Table2HasEightExperimentsInPaperOrder) {
+  const auto experiments = paper_table2_experiments();
+  ASSERT_EQ(experiments.size(), 8u);
+  const char* names[] = {"True1", "True2", "High1", "High2",
+                         "High3", "High4", "Low1",  "Low2"};
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(experiments[i].name, names[i]);
+  }
+  EXPECT_THROW((void)paper_experiment("Nope"),
+               lbmv::util::PreconditionError);
+  EXPECT_EQ(paper_experiment("High2").exec_mult, 1.0);
+}
+
+TEST_F(PaperExperiments, Figure1_True1IsTheMinimumAt78_43) {
+  EXPECT_NEAR(result("True1").outcome.actual_latency, 78.43, 0.005);
+  for (const auto& r : results_) {
+    EXPECT_GE(r.outcome.actual_latency,
+              result("True1").outcome.actual_latency - 1e-9)
+        << r.experiment.name;
+  }
+}
+
+TEST_F(PaperExperiments, Figure1_LatencyIncreasesMatchPaperClaims) {
+  // Paper prose: Low1 "about 11%", Low2 "about 66%".
+  EXPECT_NEAR(result("Low1").latency_increase_vs_true1, 0.110, 0.002);
+  EXPECT_NEAR(result("Low2").latency_increase_vs_true1, 0.659, 0.002);
+  // True2: "increasing the total latency by 17%" — measured against True1
+  // the increase is 19.6%; measured against the *new* total it is 16.4%.
+  // We pin our measured value and discuss the 17% in EXPERIMENTS.md.
+  EXPECT_NEAR(result("True2").latency_increase_vs_true1, 0.196, 0.002);
+}
+
+TEST_F(PaperExperiments, Figure1_HighClassOrdering) {
+  // High2 (full-capacity execution) < High3 (faster than bid) < High1
+  // (exec = bid) < High4 (slower than bid), per the paper's discussion.
+  const double h1 = result("High1").outcome.actual_latency;
+  const double h2 = result("High2").outcome.actual_latency;
+  const double h3 = result("High3").outcome.actual_latency;
+  const double h4 = result("High4").outcome.actual_latency;
+  EXPECT_LT(h2, h3);
+  EXPECT_LT(h3, h1);
+  EXPECT_LT(h1, h4);
+}
+
+TEST_F(PaperExperiments, Figure2_C1UtilityMaximalAtTrue1) {
+  const double u_true1 = result("True1").outcome.agents[0].utility;
+  for (const auto& r : results_) {
+    if (r.experiment.name == "True1") continue;
+    EXPECT_LT(r.outcome.agents[0].utility, u_true1) << r.experiment.name;
+  }
+}
+
+TEST_F(PaperExperiments, Figure2_UtilityDropsMatchPaperPercentages) {
+  const double u_true1 = result("True1").outcome.agents[0].utility;
+  // "In the experiment Low1 ... utility which is 45% lower than True1."
+  const double low1_drop =
+      1.0 - result("Low1").outcome.agents[0].utility / u_true1;
+  EXPECT_NEAR(low1_drop, 0.452, 0.005);
+  // "In the experiment High1 ... utility which is 62% lower than True1."
+  const double high1_drop =
+      1.0 - result("High1").outcome.agents[0].utility / u_true1;
+  EXPECT_NEAR(high1_drop, 0.616, 0.005);
+}
+
+TEST_F(PaperExperiments, Figure2_Low2UtilityIsNegative) {
+  // "An interesting situation occurs in the experiment Low2 where the
+  // payment and utility of C1 are negative."  The utility is negative as
+  // claimed; the payment sign depends on the compensation basis (see
+  // EXPERIMENTS.md and bench_ablation_compensation).
+  const auto& c1 = result("Low2").outcome.agents[0];
+  EXPECT_LT(c1.utility, 0.0);
+  EXPECT_LT(c1.bonus, 0.0);
+}
+
+TEST_F(PaperExperiments, Figures3to5_OtherComputersReactAsDescribed) {
+  // High1: "The other computers (C2 - C16) obtain higher utilities."
+  // Low1:  "The other computers obtain lower utilities."
+  const auto& true1 = result("True1").outcome;
+  const auto& high1 = result("High1").outcome;
+  const auto& low1 = result("Low1").outcome;
+  for (std::size_t i = 1; i < 16; ++i) {
+    EXPECT_GT(high1.agents[i].utility, true1.agents[i].utility)
+        << "High1 C" << i + 1;
+    EXPECT_LT(low1.agents[i].utility, true1.agents[i].utility)
+        << "Low1 C" << i + 1;
+  }
+}
+
+TEST_F(PaperExperiments, Figure6_FrugalityBoundedBy2_5WhereClaimApplies) {
+  // "the total payment ... is at most 2.5 times the total valuation", with
+  // the total valuation as the lower bound.  The claim holds in the
+  // *consistent* experiments (execution equals the declared behaviour):
+  // True1 and High1 here.  In experiments where C1's execution deviates
+  // from its bid, other agents' bonuses go negative and the ratio leaves
+  // [1, 2.5] — quantified in EXPERIMENTS.md and bench_fig6_frugality.
+  for (const char* name : {"True1", "High1"}) {
+    const auto frugality = frugality_of(result(name).outcome);
+    EXPECT_GE(frugality.ratio(), 1.0) << name;
+    EXPECT_LE(frugality.ratio(), 2.5) << name;
+  }
+  EXPECT_NEAR(frugality_of(result("True1").outcome).ratio(), 2.138, 0.002);
+  // Documented departures: with C1 underbidding (Low1) the measured total
+  // latency exceeds every bid-predicted optimum and the total payment drops
+  // far below the total valuation.
+  EXPECT_LT(frugality_of(result("Low1").outcome).ratio(), 1.0);
+  EXPECT_LT(frugality_of(result("True2").outcome).ratio(), 1.0);
+  // ... and with C1 overbidding but executing honestly (High2) the bonuses
+  // inflate past the paper's 2.5 bound.
+  EXPECT_GT(frugality_of(result("High2").outcome).ratio(), 2.5);
+}
+
+TEST_F(PaperExperiments, AllocationsAreAlwaysFeasible) {
+  for (const auto& r : results_) {
+    EXPECT_TRUE(r.outcome.allocation.is_feasible(20.0, 1e-9))
+        << r.experiment.name;
+  }
+}
+
+TEST_F(PaperExperiments, RunExperimentMatchesBatchRunner) {
+  const auto single =
+      run_experiment(mechanism_, *config_, paper_experiment("High3"));
+  EXPECT_NEAR(single.outcome.actual_latency,
+              result("High3").outcome.actual_latency, 1e-12);
+}
+
+}  // namespace

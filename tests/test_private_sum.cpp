@@ -1,0 +1,97 @@
+// Tests for fixed-point additive secret sharing over Z_{2^64}.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "lbmv/dist/private_sum.h"
+#include "lbmv/util/error.h"
+#include "lbmv/util/rng.h"
+
+namespace {
+
+using namespace lbmv::dist;
+using lbmv::util::Rng;
+
+TEST(FixedPoint, RoundTripsRepresentativeValues) {
+  for (double v : {0.0, 1.0, -1.0, 0.123456789, -98765.4321, 1e-9, 2.5e9}) {
+    EXPECT_NEAR(FixedPoint::decode(FixedPoint::encode(v)), v,
+                0.6 / FixedPoint::kScale)
+        << v;
+  }
+}
+
+TEST(FixedPoint, RejectsOutOfRangeAndNonFinite) {
+  EXPECT_THROW((void)FixedPoint::encode(1e10 * 1e9),
+               lbmv::util::PreconditionError);
+  EXPECT_THROW(
+      (void)FixedPoint::encode(std::numeric_limits<double>::infinity()),
+      lbmv::util::PreconditionError);
+}
+
+TEST(Shares, ReconstructExactlyForManyValues) {
+  Rng rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double value = rng.uniform(-1e6, 1e6);
+    const auto parties = static_cast<std::size_t>(rng.uniform_int(1, 12));
+    auto shares = make_shares(value, parties, rng);
+    EXPECT_EQ(shares.size(), parties);
+    EXPECT_NEAR(reconstruct(shares), value, 1.0 / FixedPoint::kScale);
+  }
+}
+
+TEST(Shares, AnyStrictSubsetLooksUnrelatedToTheSecret) {
+  // Information-theoretic secrecy means a strict subset of shares is a
+  // uniform ring element; operationally: dropping one share destroys the
+  // reconstruction, and re-sharing the same secret yields fresh shares.
+  Rng rng(11);
+  const double secret = 42.0;
+  auto shares = make_shares(secret, 8, rng);
+  auto partial = shares;
+  partial.pop_back();
+  EXPECT_GT(std::fabs(reconstruct(partial) - secret), 1.0);
+
+  auto reshared = make_shares(secret, 8, rng);
+  std::size_t identical = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    identical += shares[i] == reshared[i];
+  }
+  EXPECT_EQ(identical, 0u);
+  EXPECT_NEAR(reconstruct(reshared), secret, 1.0 / FixedPoint::kScale);
+}
+
+TEST(Shares, SingleShareSharingIsTheValueItself) {
+  Rng rng(1);
+  const auto shares = make_shares(-3.25, 1, rng);
+  ASSERT_EQ(shares.size(), 1u);
+  EXPECT_NEAR(FixedPoint::decode(shares[0]), -3.25,
+              1.0 / FixedPoint::kScale);
+}
+
+TEST(Shares, SumsOfShareSumsAreAdditive) {
+  // The homomorphism the private protocol relies on: combining everyone's
+  // per-party partial sums reconstructs the sum of all secrets.
+  Rng rng(17);
+  const std::vector<double> secrets{1.5, -0.25, 10.0, 3.125};
+  const std::size_t parties = 5;
+  std::vector<std::uint64_t> partial(parties, 0);
+  for (double secret : secrets) {
+    const auto shares = make_shares(secret, parties, rng);
+    for (std::size_t p = 0; p < parties; ++p) partial[p] += shares[p];
+  }
+  double expected = 0.0;
+  for (double s : secrets) expected += s;
+  EXPECT_NEAR(reconstruct(partial), expected,
+              static_cast<double>(secrets.size()) / FixedPoint::kScale);
+}
+
+TEST(Shares, RejectsZeroParties) {
+  Rng rng(1);
+  EXPECT_THROW((void)make_shares(1.0, 0, rng),
+               lbmv::util::PreconditionError);
+  EXPECT_THROW((void)reconstruct({}), lbmv::util::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Integration tests for the full verified protocol: mechanism + simulator +
+// estimator wired together as the paper's §3 protocol describes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lbmv/analysis/paper_config.h"
+#include "lbmv/core/comp_bonus.h"
+#include "lbmv/model/bids.h"
+#include "lbmv/sim/protocol.h"
+#include "lbmv/util/error.h"
+
+namespace {
+
+using lbmv::core::CompBonusMechanism;
+using lbmv::model::BidProfile;
+using lbmv::model::SystemConfig;
+using lbmv::sim::ProtocolOptions;
+using lbmv::sim::RoundReport;
+using lbmv::sim::VerifiedProtocol;
+
+ProtocolOptions fast_options() {
+  ProtocolOptions options;
+  options.horizon = 4000.0;
+  options.seed = 97;
+  return options;
+}
+
+TEST(Protocol, MessageCountIsThreeN) {
+  const SystemConfig config({1.0, 2.0, 5.0, 10.0}, 8.0);
+  CompBonusMechanism mechanism;
+  VerifiedProtocol protocol(mechanism, fast_options());
+  const RoundReport report =
+      protocol.run_round(config, BidProfile::truthful(config));
+  EXPECT_EQ(report.messages, 3 * config.size());
+}
+
+TEST(Protocol, TruthfulRoundEstimatesCloseToOracle) {
+  // Light-load types so the M/G/1 realisation of the linear model is in its
+  // validity regime (x_i * sqrt(t_i) << 1).
+  const SystemConfig config({0.01, 0.01, 0.02}, 3.0);
+  CompBonusMechanism mechanism;
+  ProtocolOptions options = fast_options();
+  options.horizon = 30000.0;
+  VerifiedProtocol protocol(mechanism, options);
+  const RoundReport report =
+      protocol.run_round(config, BidProfile::truthful(config));
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    ASSERT_TRUE(report.estimate_available[i]);
+    EXPECT_NEAR(report.estimated_execution[i], config.true_value(i),
+                0.15 * config.true_value(i))
+        << "computer " << i;
+    // Estimated payments track the oracle payments.
+    EXPECT_NEAR(report.outcome.agents[i].payment,
+                report.oracle_outcome.agents[i].payment,
+                0.12 * std::max(1.0, report.oracle_outcome.agents[i].payment))
+        << "computer " << i;
+  }
+}
+
+TEST(Protocol, VerificationCatchesASlacker) {
+  // C1 bids the truth but executes 2.25x slower.  The estimated execution
+  // value must expose it and its verified payment must fall below what the
+  // bid-trusting oracle with honest execution would have paid.
+  const SystemConfig config({0.01, 0.01, 0.02}, 3.0);
+  CompBonusMechanism mechanism;
+  ProtocolOptions options = fast_options();
+  options.horizon = 30000.0;
+  VerifiedProtocol protocol(mechanism, options);
+
+  const RoundReport honest =
+      protocol.run_round(config, BidProfile::truthful(config));
+  const RoundReport slack =
+      protocol.run_round(config, BidProfile::deviate(config, 0, 1.0, 2.25));
+
+  EXPECT_GT(slack.estimated_execution[0],
+            1.7 * config.true_value(0));  // ~2.25x, noisy
+  EXPECT_LT(slack.outcome.agents[0].utility,
+            honest.outcome.agents[0].utility);
+}
+
+TEST(Protocol, AllocationMatchesMechanismAllocator) {
+  const SystemConfig config({1.0, 3.0}, 4.0);
+  CompBonusMechanism mechanism;
+  VerifiedProtocol protocol(mechanism, fast_options());
+  const RoundReport report =
+      protocol.run_round(config, BidProfile::deviate(config, 0, 2.0, 2.0));
+  // Bid profile (2, 3): x_0 = (1/2)/(1/2+1/3)*4 = 2.4, x_1 = 1.6.
+  EXPECT_NEAR(report.allocation[0], 2.4, 1e-12);
+  EXPECT_NEAR(report.allocation[1], 1.6, 1e-12);
+}
+
+TEST(Protocol, MeasuredLatencyApproximatesAnalyticModel) {
+  // Light-load cross-check: the simulator's measured total latency should
+  // land near the analytic L = sum t_i x_i^2 (within ~25% — the linear
+  // model is itself a light-traffic approximation).
+  const SystemConfig config({0.02, 0.04}, 1.5);
+  CompBonusMechanism mechanism;
+  ProtocolOptions options = fast_options();
+  options.horizon = 60000.0;
+  VerifiedProtocol protocol(mechanism, options);
+  const RoundReport report =
+      protocol.run_round(config, BidProfile::truthful(config));
+  const double analytic = report.oracle_outcome.actual_latency;
+  EXPECT_NEAR(report.metrics.measured_total_latency, analytic,
+              0.25 * analytic);
+}
+
+TEST(Protocol, DeterministicGivenSeed) {
+  const SystemConfig config({1.0, 2.0}, 3.0);
+  CompBonusMechanism mechanism;
+  VerifiedProtocol protocol(mechanism, fast_options());
+  const auto a = protocol.run_round(config, BidProfile::truthful(config));
+  const auto b = protocol.run_round(config, BidProfile::truthful(config));
+  EXPECT_EQ(a.metrics.total_jobs(), b.metrics.total_jobs());
+  EXPECT_DOUBLE_EQ(a.estimated_execution[0], b.estimated_execution[0]);
+}
+
+TEST(Protocol, RejectsNonLinearFamilies) {
+  auto family = std::make_shared<lbmv::model::MM1Family>();
+  const SystemConfig config({0.2, 0.4}, 2.0, family);
+  CompBonusMechanism mechanism;
+  VerifiedProtocol protocol(mechanism, fast_options());
+  EXPECT_THROW(
+      (void)protocol.run_round(config, BidProfile::truthful(config)),
+      lbmv::util::PreconditionError);
+}
+
+TEST(Protocol, ValidatesOptions) {
+  CompBonusMechanism mechanism;
+  ProtocolOptions bad;
+  bad.horizon = 0.0;
+  EXPECT_THROW(VerifiedProtocol(mechanism, bad),
+               lbmv::util::PreconditionError);
+  bad = ProtocolOptions{};
+  bad.warmup_fraction = 1.0;
+  EXPECT_THROW(VerifiedProtocol(mechanism, bad),
+               lbmv::util::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,204 @@
+// Tests for the verification oracle: recovering execution values from
+// observed completions.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lbmv/sim/engine.h"
+#include "lbmv/sim/job_source.h"
+#include "lbmv/sim/rate_estimator.h"
+#include "lbmv/sim/server.h"
+#include "lbmv/util/error.h"
+#include "lbmv/util/rng.h"
+
+namespace {
+
+using namespace lbmv::sim;
+using lbmv::util::Rng;
+
+std::vector<Completion> synthetic_completions(double service,
+                                              std::size_t count) {
+  std::vector<Completion> completions;
+  double t = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    completions.push_back(Completion{i, t, t, t + service});
+    t += service;
+  }
+  return completions;
+}
+
+TEST(RateEstimator, EmptyLogYieldsNoEstimate) {
+  EXPECT_FALSE(
+      estimate_execution_value({}, ServiceModel::kExponential).has_value());
+}
+
+TEST(RateEstimator, DeterministicServiceRecoversExactValue) {
+  // t = m^2 / 2 for deterministic service; m = 2 => t = 2.
+  const auto completions = synthetic_completions(2.0, 100);
+  const auto estimate =
+      estimate_execution_value(completions, ServiceModel::kDeterministic);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_DOUBLE_EQ(estimate->mean_service, 2.0);
+  EXPECT_DOUBLE_EQ(estimate->execution_value, 2.0);
+  EXPECT_DOUBLE_EQ(estimate->ci95, 0.0);  // no variance at all
+  EXPECT_TRUE(estimate->consistent_with(2.0));
+  EXPECT_FALSE(estimate->consistent_with(2.1));
+}
+
+TEST(RateEstimator, RecoversExecutionValueFromSimulatedServer) {
+  // A server running at execution value 2.0 under light load: the estimate
+  // must land on 2.0 within its own confidence interval (stretched 3x for
+  // the ~0.3% of honest runs outside a 95% CI).
+  Simulation sim;
+  const double exec_value = 2.0;
+  Server server(sim, "s", exec_value, ServiceModel::kExponential, Rng(5));
+  std::vector<Server*> servers{&server};
+  JobSource source(sim, servers, {0.2}, 50000.0, Rng(6));
+  source.start();
+  sim.run();
+  const auto estimate = estimate_execution_value(server.completions(),
+                                                 ServiceModel::kExponential);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_GT(estimate->samples, 5000u);
+  EXPECT_NEAR(estimate->execution_value, exec_value, 3.0 * estimate->ci95);
+  EXPECT_LT(estimate->ci95, 0.15);
+}
+
+TEST(RateEstimator, DistinguishesSlackFromHonestExecution) {
+  // Two servers, one honest (t~ = 1) and one running 2x slower (t~ = 2):
+  // the estimates must separate cleanly.
+  Simulation sim;
+  Server honest(sim, "honest", 1.0, ServiceModel::kExponential, Rng(7));
+  Server slacker(sim, "slacker", 2.0, ServiceModel::kExponential, Rng(8));
+  std::vector<Server*> servers{&honest, &slacker};
+  JobSource source(sim, servers, {0.2, 0.2}, 30000.0, Rng(9));
+  source.start();
+  sim.run();
+  const auto honest_est = estimate_execution_value(
+      honest.completions(), ServiceModel::kExponential);
+  const auto slack_est = estimate_execution_value(
+      slacker.completions(), ServiceModel::kExponential);
+  ASSERT_TRUE(honest_est && slack_est);
+  EXPECT_LT(honest_est->execution_value + honest_est->ci95,
+            slack_est->execution_value - slack_est->ci95);
+}
+
+TEST(RateEstimatorRobust, TrimmedMatchesPlainOnCleanExponentialData) {
+  // The analytic bias correction must make the trimmed estimator agree
+  // with the plain one on uncorrupted data.
+  Rng rng(41);
+  std::vector<Completion> completions;
+  double t = 0.0;
+  for (std::size_t i = 0; i < 60000; ++i) {
+    const double s = rng.exponential(1.0 / 1.5);  // mean 1.5 => t~ = 2.25
+    completions.push_back(Completion{i, t, t, t + s});
+    t += s;
+  }
+  const auto plain =
+      estimate_execution_value(completions, ServiceModel::kExponential);
+  const auto trimmed = estimate_execution_value_trimmed(
+      completions, ServiceModel::kExponential, 0.1);
+  ASSERT_TRUE(plain && trimmed);
+  EXPECT_NEAR(trimmed->execution_value, 2.25, 0.05);
+  EXPECT_NEAR(trimmed->execution_value, plain->execution_value, 0.06);
+}
+
+TEST(RateEstimatorRobust, SurvivesInjectedClockGlitches) {
+  // Failure injection: 1% of the records carry absurd service times (a
+  // stuck clock).  The plain mean is dragged far off; the trimmed
+  // estimator stays on target.
+  Rng rng(43);
+  std::vector<Completion> completions;
+  double t = 0.0;
+  for (std::size_t i = 0; i < 20000; ++i) {
+    double s = rng.exponential(1.0);  // mean 1 => t~ = 1
+    if (i % 100 == 0) s = 1000.0;     // glitch
+    completions.push_back(Completion{i, t, t, t + s});
+    t += s;
+  }
+  const auto plain =
+      estimate_execution_value(completions, ServiceModel::kExponential);
+  const auto trimmed = estimate_execution_value_trimmed(
+      completions, ServiceModel::kExponential, 0.05);
+  ASSERT_TRUE(plain && trimmed);
+  EXPECT_GT(plain->execution_value, 50.0);  // hopelessly biased
+  EXPECT_NEAR(trimmed->execution_value, 1.0, 0.1);
+}
+
+TEST(RateEstimatorRobust, CannotBePoisonedDownward) {
+  // A slacker cannot hide behind a few fabricated ultra-fast records
+  // either: trimming drops both tails symmetrically.
+  Rng rng(47);
+  std::vector<Completion> completions;
+  double t = 0.0;
+  for (std::size_t i = 0; i < 20000; ++i) {
+    double s = rng.exponential(1.0 / 2.0);  // mean 2 => t~ = 4 (slacking)
+    if (i % 50 == 0) s = 1e-9;              // fabricated "fast" records
+    completions.push_back(Completion{i, t, t, t + s});
+    t += s;
+  }
+  const auto trimmed = estimate_execution_value_trimmed(
+      completions, ServiceModel::kExponential, 0.05);
+  ASSERT_TRUE(trimmed);
+  EXPECT_NEAR(trimmed->execution_value, 4.0, 0.4);
+}
+
+TEST(RateEstimatorRobust, DeterministicServiceNeedsNoCorrection) {
+  const auto completions = synthetic_completions(2.0, 1000);
+  const auto trimmed = estimate_execution_value_trimmed(
+      completions, ServiceModel::kDeterministic, 0.2);
+  ASSERT_TRUE(trimmed);
+  EXPECT_DOUBLE_EQ(trimmed->execution_value, 2.0);
+}
+
+TEST(RateEstimatorRobust, ValidatesTrimFractionAndEmptyLogs) {
+  EXPECT_THROW((void)estimate_execution_value_trimmed(
+                   {}, ServiceModel::kExponential, 0.5),
+               lbmv::util::PreconditionError);
+  EXPECT_FALSE(estimate_execution_value_trimmed(
+                   {}, ServiceModel::kExponential, 0.1)
+                   .has_value());
+}
+
+TEST(RateEstimatorRobust, Erlang2TrimBiasCorrectionWorks) {
+  // Clean Erlang-2 data: the trimmed estimator's numeric bias correction
+  // must land on the same execution value as the plain mean.
+  Rng rng(53);
+  std::vector<Completion> completions;
+  double t = 0.0;
+  for (std::size_t i = 0; i < 60000; ++i) {
+    // Erlang-2 with mean 2 => execution value 0.75 * 4 = 3.
+    const double s = rng.exponential(1.0) + rng.exponential(1.0);
+    completions.push_back(Completion{i, t, t, t + s});
+    t += s;
+  }
+  const auto plain =
+      estimate_execution_value(completions, ServiceModel::kErlang2);
+  const auto trimmed = estimate_execution_value_trimmed(
+      completions, ServiceModel::kErlang2, 0.1);
+  ASSERT_TRUE(plain && trimmed);
+  EXPECT_NEAR(plain->execution_value, 3.0, 0.08);
+  EXPECT_NEAR(trimmed->execution_value, plain->execution_value, 0.08);
+}
+
+TEST(RateEstimator, CiShrinksWithSampleCount) {
+  Rng rng(31);
+  auto noisy = [&](std::size_t count) {
+    std::vector<Completion> completions;
+    double t = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const double s = rng.exponential(1.0);
+      completions.push_back(Completion{i, t, t, t + s});
+      t += s;
+    }
+    return estimate_execution_value(completions,
+                                    ServiceModel::kExponential);
+  };
+  const auto small = noisy(100);
+  const auto large = noisy(10000);
+  ASSERT_TRUE(small && large);
+  EXPECT_GT(small->ci95, large->ci95);
+}
+
+}  // namespace

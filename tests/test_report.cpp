@@ -1,0 +1,85 @@
+// Tests for the figure/table rendering used by the bench binaries.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lbmv/analysis/paper_experiments.h"
+#include "lbmv/analysis/report.h"
+#include "lbmv/core/comp_bonus.h"
+
+namespace {
+
+using namespace lbmv::analysis;
+using lbmv::core::CompBonusMechanism;
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_ =
+        std::make_unique<lbmv::model::SystemConfig>(paper_table1_config());
+    results_ = run_paper_experiments(mechanism_, *config_);
+  }
+  CompBonusMechanism mechanism_;
+  std::unique_ptr<lbmv::model::SystemConfig> config_;
+  std::vector<ExperimentResult> results_;
+};
+
+TEST_F(ReportTest, Table1ListsEveryComputer) {
+  const std::string text = render_table1(*config_);
+  EXPECT_NE(text.find("Table 1"), std::string::npos);
+  EXPECT_NE(text.find("C1 "), std::string::npos);
+  EXPECT_NE(text.find("C16"), std::string::npos);
+  EXPECT_NE(text.find("10.0"), std::string::npos);
+}
+
+TEST_F(ReportTest, Table2ListsEveryExperiment) {
+  const std::string text = render_table2();
+  for (const char* name : {"True1", "True2", "High1", "High2", "High3",
+                           "High4", "Low1", "Low2"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+}
+
+TEST_F(ReportTest, Figure1ContainsHeadlineLatency) {
+  const std::string text = render_figure1(results_);
+  EXPECT_NE(text.find("Figure 1"), std::string::npos);
+  EXPECT_NE(text.find("78.43"), std::string::npos);
+  EXPECT_NE(text.find("+11.0%"), std::string::npos);  // Low1
+  EXPECT_NE(text.find("+65.8%"), std::string::npos);  // Low2
+}
+
+TEST_F(ReportTest, Figure2ShowsC1PaymentAndUtility) {
+  const std::string text = render_figure2(results_);
+  EXPECT_NE(text.find("Figure 2"), std::string::npos);
+  EXPECT_NE(text.find("Compensation"), std::string::npos);
+  EXPECT_NE(text.find("Utility"), std::string::npos);
+  // True1 utility of C1 = 19.13.
+  EXPECT_NE(text.find("19.13"), std::string::npos);
+}
+
+TEST_F(ReportTest, PerComputerFigureCoversAllSixteen) {
+  const std::string text =
+      render_per_computer_figure(results_.front(), "Figure 3");
+  EXPECT_NE(text.find("Figure 3"), std::string::npos);
+  EXPECT_NE(text.find("True1"), std::string::npos);
+  EXPECT_NE(text.find("C16"), std::string::npos);
+}
+
+TEST_F(ReportTest, Figure6ReportsTheRatio) {
+  const std::string text = render_figure6(results_);
+  EXPECT_NE(text.find("Figure 6"), std::string::npos);
+  EXPECT_NE(text.find("2.14"), std::string::npos);  // True1 ratio 2.138
+  EXPECT_NE(text.find("2.5"), std::string::npos);   // the paper's bound
+}
+
+TEST_F(ReportTest, CsvHasHeaderAndOneRowPerExperiment) {
+  const std::string text = results_csv(results_);
+  std::size_t lines = 0;
+  for (char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, 1u + results_.size());
+  EXPECT_NE(text.find("experiment,bid_mult"), std::string::npos);
+  EXPECT_NE(text.find("Low2"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,211 @@
+// Unit tests for lbmv/util/rng.h and lbmv/util/stats.h.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lbmv/util/error.h"
+#include "lbmv/util/rng.h"
+#include "lbmv/util/stats.h"
+
+namespace {
+
+using lbmv::util::Rng;
+using lbmv::util::RunningStats;
+
+TEST(Rng, EqualSeedsGiveEqualStreams) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SplitIsDeterministicAndIndependentOfParentState) {
+  Rng parent(99);
+  Rng child1 = parent.split(7);
+  (void)parent.uniform();  // advancing the parent must not affect splits
+  Rng child2 = parent.split(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(child1.uniform(), child2.uniform());
+  }
+}
+
+TEST(Rng, SplitStreamsWithDistinctIndicesDiffer) {
+  Rng parent(99);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  EXPECT_NE(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.005);
+}
+
+TEST(Rng, CategoricalMatchesWeights) {
+  Rng rng(21);
+  const std::vector<double> weights{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / double(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / double(n), 0.6, 0.01);
+}
+
+TEST(Rng, PreconditionViolationsThrow) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform(3.0, 2.0), lbmv::util::PreconditionError);
+  EXPECT_THROW((void)rng.exponential(0.0), lbmv::util::PreconditionError);
+  EXPECT_THROW((void)rng.categorical({}), lbmv::util::PreconditionError);
+  EXPECT_THROW((void)rng.categorical({0.0, 0.0}),
+               lbmv::util::PreconditionError);
+  EXPECT_THROW((void)rng.bernoulli(1.5), lbmv::util::PreconditionError);
+}
+
+TEST(RunningStats, MatchesBatchFormulas) {
+  const std::vector<double> xs{1.0, 2.5, -3.0, 4.0, 0.5};
+  RunningStats stats;
+  for (double x : xs) stats.add(x);
+  EXPECT_EQ(stats.count(), xs.size());
+  EXPECT_NEAR(stats.mean(), lbmv::util::mean(xs), 1e-12);
+  EXPECT_NEAR(stats.variance(), lbmv::util::variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), -3.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+  EXPECT_NEAR(stats.sum(), 5.0, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSingleAccumulator) {
+  Rng rng(3);
+  RunningStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(2.0, 5.0);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySidesIsIdentity) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats a_copy = a;
+  a.merge(b);  // empty right side
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), a_copy.mean());
+  b.merge(a);  // empty left side
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), a.mean());
+}
+
+TEST(RunningStats, EmptyAndSingleSampleEdgeCases) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  stats.add(7.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stderr_mean(), 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(lbmv::util::percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(lbmv::util::percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(lbmv::util::percentile(xs, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(lbmv::util::percentile(xs, 25.0), 1.75);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW((void)lbmv::util::percentile({}, 50.0),
+               lbmv::util::PreconditionError);
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW((void)lbmv::util::percentile(xs, 101.0),
+               lbmv::util::PreconditionError);
+}
+
+TEST(FitLine, RecoversExactLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i * 0.5);
+    ys.push_back(3.0 - 2.0 * i * 0.5);
+  }
+  const auto fit = lbmv::util::fit_line(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.slope, -2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyDataGivesApproximateSlope) {
+  Rng rng(11);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    xs.push_back(x);
+    ys.push_back(1.0 + 4.0 * x + rng.normal(0.0, 0.5));
+  }
+  const auto fit = lbmv::util::fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 4.0, 0.05);
+  EXPECT_NEAR(fit.intercept, 1.0, 0.1);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(FitLine, RejectsDegenerateInput) {
+  const std::vector<double> x1{1.0}, y1{2.0};
+  EXPECT_THROW((void)lbmv::util::fit_line(x1, y1),
+               lbmv::util::PreconditionError);
+  const std::vector<double> same_x{2.0, 2.0}, ys{1.0, 5.0};
+  EXPECT_THROW((void)lbmv::util::fit_line(same_x, ys),
+               lbmv::util::PreconditionError);
+}
+
+TEST(RelDiff, BehavesAsRelativeMetric) {
+  EXPECT_DOUBLE_EQ(lbmv::util::rel_diff(0.0, 0.0), 0.0);
+  EXPECT_NEAR(lbmv::util::rel_diff(100.0, 101.0), 1.0 / 101.0, 1e-12);
+  EXPECT_NEAR(lbmv::util::rel_diff(-2.0, 2.0), 2.0, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+// Tests for Stackelberg scheduling on parallel links.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "lbmv/game/stackelberg.h"
+#include "lbmv/model/latency.h"
+#include "lbmv/util/error.h"
+
+namespace {
+
+using namespace lbmv::model;
+using lbmv::game::stackelberg;
+using lbmv::game::StackelbergStrategy;
+
+std::vector<std::unique_ptr<LatencyFunction>> pigou_links() {
+  std::vector<std::unique_ptr<LatencyFunction>> links;
+  links.push_back(std::make_unique<AffineLatency>(1.0, 1e-6));
+  links.push_back(std::make_unique<LinearLatency>(1.0));
+  return links;
+}
+
+TEST(Stackelberg, AlphaZeroIsPlainSelfishRouting) {
+  const auto links = pigou_links();
+  const auto report = stackelberg(links, 1.0, 0.0);
+  EXPECT_NEAR(report.total_latency, report.selfish_latency, 1e-9);
+  EXPECT_NEAR(report.leader_flow.total_rate(), 0.0, 1e-12);
+}
+
+TEST(Stackelberg, AlphaOneImplementsTheOptimum) {
+  const auto links = pigou_links();
+  for (const auto strategy : {StackelbergStrategy::kScale,
+                              StackelbergStrategy::kLargestLatencyFirst}) {
+    const auto report = stackelberg(links, 1.0, 1.0, strategy);
+    EXPECT_NEAR(report.total_latency, report.optimal_latency, 1e-6);
+    EXPECT_NEAR(report.follower_flow.total_rate(), 0.0, 1e-9);
+  }
+}
+
+TEST(Stackelberg, LlfImprovesOnSelfishRoutingOnPigou) {
+  const auto links = pigou_links();
+  double previous = stackelberg(links, 1.0, 0.0).total_latency;
+  for (double alpha : {0.25, 0.5, 0.75, 1.0}) {
+    const auto report = stackelberg(
+        links, 1.0, alpha, StackelbergStrategy::kLargestLatencyFirst);
+    EXPECT_LE(report.total_latency, previous + 1e-9) << "alpha " << alpha;
+    previous = report.total_latency;
+  }
+  // At alpha = 0.5 LLF puts the leader's share on the constant link (the
+  // one the optimum loads with latency 1) and the followers split the rest.
+  const auto half = stackelberg(links, 1.0, 0.5,
+                                StackelbergStrategy::kLargestLatencyFirst);
+  EXPECT_GT(half.leader_flow[0], 0.49);
+  EXPECT_LT(half.inefficiency(),
+            stackelberg(links, 1.0, 0.0).inefficiency());
+}
+
+TEST(Stackelberg, CombinedFlowIsFeasibleAndFollowersEquilibrate) {
+  std::vector<std::unique_ptr<LatencyFunction>> links;
+  links.push_back(std::make_unique<AffineLatency>(2.0, 0.5));
+  links.push_back(std::make_unique<AffineLatency>(0.5, 1.0));
+  links.push_back(std::make_unique<LinearLatency>(2.0));
+  const double demand = 5.0;
+  const auto report = stackelberg(links, demand, 0.4);
+  EXPECT_TRUE(report.combined_flow.is_feasible(demand, 1e-8));
+  EXPECT_NEAR(report.leader_flow.total_rate(), 2.0, 1e-9);
+  EXPECT_NEAR(report.follower_flow.total_rate(), 3.0, 1e-9);
+  // Sandwich: optimum <= Stackelberg <= selfish.
+  EXPECT_GE(report.total_latency, report.optimal_latency - 1e-9);
+  EXPECT_LE(report.total_latency, report.selfish_latency + 1e-9);
+}
+
+TEST(Stackelberg, LinearLinksAreAlreadyOptimalForAnyAlpha) {
+  std::vector<std::unique_ptr<LatencyFunction>> links;
+  links.push_back(std::make_unique<LinearLatency>(1.0));
+  links.push_back(std::make_unique<LinearLatency>(3.0));
+  for (double alpha : {0.0, 0.3, 0.8}) {
+    const auto report = stackelberg(links, 4.0, alpha);
+    EXPECT_NEAR(report.inefficiency(), 1.0, 1e-7) << "alpha " << alpha;
+  }
+}
+
+TEST(Stackelberg, ValidatesArguments) {
+  const auto links = pigou_links();
+  EXPECT_THROW((void)stackelberg(links, 1.0, -0.1),
+               lbmv::util::PreconditionError);
+  EXPECT_THROW((void)stackelberg(links, 1.0, 1.5),
+               lbmv::util::PreconditionError);
+  EXPECT_THROW((void)stackelberg(links, 0.0, 0.5),
+               lbmv::util::PreconditionError);
+  std::vector<std::unique_ptr<LatencyFunction>> none;
+  EXPECT_THROW((void)stackelberg(none, 1.0, 0.5),
+               lbmv::util::PreconditionError);
+}
+
+}  // namespace

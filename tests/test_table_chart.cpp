@@ -1,0 +1,115 @@
+// Unit tests for table, CSV and ASCII chart rendering.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "lbmv/util/ascii_chart.h"
+#include "lbmv/util/csv.h"
+#include "lbmv/util/error.h"
+#include "lbmv/util/table.h"
+
+namespace {
+
+using lbmv::util::Bar;
+using lbmv::util::BarGroup;
+using lbmv::util::CsvWriter;
+using lbmv::util::Series;
+using lbmv::util::Table;
+
+TEST(Table, RendersAlignedMarkdown) {
+  Table table({"name", "value"});
+  table.add_row({"short", "1.00"});
+  table.add_row({"a-much-longer-name", "2.50"});
+  const std::string md = table.to_markdown();
+  EXPECT_NE(md.find("| name"), std::string::npos);
+  EXPECT_NE(md.find("| a-much-longer-name |"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(md.find("|---"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_EQ(table.columns(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), lbmv::util::PreconditionError);
+}
+
+TEST(Table, NumberFormattingHelpers) {
+  EXPECT_EQ(Table::num(78.431372, 2), "78.43");
+  EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+  EXPECT_EQ(Table::pct(0.17, 1), "+17.0%");
+  EXPECT_EQ(Table::pct(-0.45, 0), "-45%");
+}
+
+TEST(Csv, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvWriter::quote("plain"), "plain");
+  EXPECT_EQ(CsvWriter::quote("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvWriter::quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({"a", "b,c"});
+  csv.write_numeric_row({1.5, -2.0});
+  EXPECT_EQ(os.str(), "a,\"b,c\"\n1.5,-2\n");
+}
+
+TEST(BarChart, PositiveOnlyBarsScaleToWidth) {
+  const std::string chart =
+      lbmv::util::bar_chart("title", {{"a", 10.0}, {"b", 5.0}}, 20);
+  EXPECT_NE(chart.find("title"), std::string::npos);
+  EXPECT_NE(chart.find("####################"), std::string::npos);  // a
+  EXPECT_NE(chart.find("##########"), std::string::npos);            // b
+  EXPECT_NE(chart.find("10.00"), std::string::npos);
+}
+
+TEST(BarChart, NegativeValuesRenderLeftOfAxis) {
+  const std::string chart =
+      lbmv::util::bar_chart("", {{"pos", 4.0}, {"neg", -4.0}}, 20);
+  EXPECT_NE(chart.find('<'), std::string::npos);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+TEST(BarChart, AllZeroValuesDoNotDivideByZero) {
+  const std::string chart = lbmv::util::bar_chart("", {{"z", 0.0}}, 20);
+  EXPECT_NE(chart.find("0.00"), std::string::npos);
+}
+
+TEST(GroupedBarChart, RendersLegendAndGroups) {
+  const std::string chart = lbmv::util::grouped_bar_chart(
+      "t", {"payment", "utility"},
+      {{"C1", {3.0, 1.0}}, {"C2", {2.0, -0.5}}}, 30);
+  EXPECT_NE(chart.find("legend:"), std::string::npos);
+  EXPECT_NE(chart.find("payment"), std::string::npos);
+  EXPECT_NE(chart.find("C2"), std::string::npos);
+}
+
+TEST(GroupedBarChart, RejectsWidthMismatch) {
+  EXPECT_THROW((void)lbmv::util::grouped_bar_chart(
+                   "", {"one"}, {{"g", {1.0, 2.0}}}, 30),
+               lbmv::util::PreconditionError);
+}
+
+TEST(LineChart, PlotsSeriesWithinBounds) {
+  Series s{"f", {0.0, 1.0, 2.0, 3.0}, {0.0, 1.0, 4.0, 9.0}};
+  const std::string chart = lbmv::util::line_chart("quad", {s}, 40, 10);
+  EXPECT_NE(chart.find("quad"), std::string::npos);
+  EXPECT_NE(chart.find("y_max = 9.00"), std::string::npos);
+  EXPECT_NE(chart.find("[*] f"), std::string::npos);
+}
+
+TEST(LineChart, RejectsUnequalSeriesLengths) {
+  Series s{"bad", {0.0, 1.0}, {0.0}};
+  EXPECT_THROW((void)lbmv::util::line_chart("", {s}),
+               lbmv::util::PreconditionError);
+}
+
+TEST(LineChart, ConstantSeriesDoesNotCrash) {
+  Series s{"c", {0.0, 1.0}, {5.0, 5.0}};
+  const std::string chart = lbmv::util::line_chart("", {s});
+  EXPECT_FALSE(chart.empty());
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+// Property tests mirroring the *structure* of the paper's proofs, checked
+// numerically on fine grids over random instances.  Where the proofs argue
+// "by optimality of the PR allocation, any misreport raises the realised
+// latency", these tests check exactly that quantity pointwise.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "lbmv/core/comp_bonus.h"
+#include "lbmv/model/bids.h"
+#include "lbmv/model/system_config.h"
+#include "lbmv/util/rng.h"
+
+namespace {
+
+using lbmv::core::CompBonusMechanism;
+using lbmv::model::BidProfile;
+using lbmv::model::SystemConfig;
+using lbmv::util::Rng;
+
+SystemConfig random_config(std::uint64_t seed) {
+  Rng rng(seed);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 9));
+  std::vector<double> types(n);
+  for (double& t : types) {
+    t = std::exp(rng.uniform(std::log(0.3), std::log(12.0)));
+  }
+  return SystemConfig(std::move(types), rng.uniform(2.0, 50.0));
+}
+
+class TheoremGrid : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static constexpr double kGrid[] = {0.2, 0.4, 0.6, 0.8,  0.9, 0.95, 1.0,
+                                     1.05, 1.1, 1.3, 1.7, 2.5, 4.0,  8.0};
+};
+
+// Theorem 3.1 case (i), inner step: with everyone else truthful and agent i
+// executing at capacity, the *realised* total latency L(x(b), t) is
+// minimised over the agent's own bid at b_i = t_i — pointwise on the grid.
+TEST_P(TheoremGrid, RealisedLatencyMinimisedAtTruthfulBid) {
+  const SystemConfig config = random_config(GetParam());
+  CompBonusMechanism mechanism;
+  for (std::size_t agent = 0; agent < config.size(); ++agent) {
+    const double at_truth =
+        mechanism.run(config, BidProfile::truthful(config)).actual_latency;
+    for (double mult : kGrid) {
+      const auto outcome = mechanism.run(
+          config, BidProfile::deviate(config, agent, mult, 1.0));
+      EXPECT_GE(outcome.actual_latency, at_truth - 1e-9)
+          << "agent " << agent << " bid x" << mult;
+    }
+  }
+}
+
+// Theorem 3.1 case (ii): slowing execution strictly increases the realised
+// latency, monotonically in t~_i (dL/dt~_i = x_i^2 > 0).
+TEST_P(TheoremGrid, RealisedLatencyIncreasesWithExecutionValue) {
+  const SystemConfig config = random_config(GetParam() + 1000);
+  CompBonusMechanism mechanism;
+  const std::size_t agent = GetParam() % config.size();
+  double previous = -1.0;
+  for (double exec_mult : {1.0, 1.2, 1.5, 2.0, 3.0, 5.0}) {
+    const auto outcome = mechanism.run(
+        config, BidProfile::deviate(config, agent, 1.0, exec_mult));
+    EXPECT_GT(outcome.actual_latency, previous);
+    previous = outcome.actual_latency;
+  }
+}
+
+// The allocation-rule monotonicity that one-parameter truthfulness needs
+// (Archer–Tardos): the agent's own load is strictly decreasing in its bid,
+// and everyone else's load is strictly increasing in it.
+TEST_P(TheoremGrid, AllocationMonotoneInOwnBid) {
+  const SystemConfig config = random_config(GetParam() + 2000);
+  CompBonusMechanism mechanism;
+  const std::size_t agent = GetParam() % config.size();
+  double previous_own = std::numeric_limits<double>::infinity();
+  double previous_other = -1.0;
+  const std::size_t other = (agent + 1) % config.size();
+  for (double mult : kGrid) {
+    const auto outcome = mechanism.run(
+        config, BidProfile::deviate(config, agent, mult, 1.0));
+    EXPECT_LT(outcome.allocation[agent], previous_own);
+    EXPECT_GT(outcome.allocation[other], previous_other);
+    previous_own = outcome.allocation[agent];
+    previous_other = outcome.allocation[other];
+  }
+}
+
+// Unilateral-payment identity (EXPERIMENTS.md): the deviator's payment is
+// independent of its own execution value — the verified compensation rise
+// cancels the bonus drop exactly.
+TEST_P(TheoremGrid, PaymentIndependentOfOwnExecution) {
+  const SystemConfig config = random_config(GetParam() + 3000);
+  CompBonusMechanism mechanism;
+  const std::size_t agent = GetParam() % config.size();
+  Rng rng(GetParam());
+  const double bid_mult = rng.uniform(0.5, 2.0);
+  const double base_payment =
+      mechanism.run(config, BidProfile::deviate(config, agent, bid_mult, 1.0))
+          .agents[agent]
+          .payment;
+  for (double exec_mult : {1.25, 2.0, 3.5}) {
+    const auto outcome = mechanism.run(
+        config, BidProfile::deviate(config, agent, bid_mult, exec_mult));
+    EXPECT_NEAR(outcome.agents[agent].payment, base_payment,
+                1e-9 * std::max(1.0, std::fabs(base_payment)));
+  }
+}
+
+// Scale invariance: multiplying every type by c leaves the allocation
+// unchanged and scales latency, payments and utilities by exactly c.
+TEST_P(TheoremGrid, CommonTypeScalingActsLinearly) {
+  const SystemConfig config = random_config(GetParam() + 4000);
+  const double c = 3.7;
+  std::vector<double> scaled_types(config.true_values().begin(),
+                                   config.true_values().end());
+  for (double& t : scaled_types) t *= c;
+  const SystemConfig scaled(scaled_types, config.arrival_rate());
+
+  CompBonusMechanism mechanism;
+  const auto base = mechanism.run(config, BidProfile::truthful(config));
+  const auto big = mechanism.run(scaled, BidProfile::truthful(scaled));
+  EXPECT_NEAR(big.actual_latency, c * base.actual_latency,
+              1e-9 * c * base.actual_latency);
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    EXPECT_NEAR(big.allocation[i], base.allocation[i],
+                1e-9 * std::max(1.0, base.allocation[i]));
+    EXPECT_NEAR(big.agents[i].payment, c * base.agents[i].payment,
+                1e-9 * std::max(1.0, std::fabs(c * base.agents[i].payment)));
+    EXPECT_NEAR(big.agents[i].utility, c * base.agents[i].utility,
+                1e-9 * std::max(1.0, std::fabs(c * base.agents[i].utility)));
+  }
+}
+
+// Rate scaling: x is linear in R while L, payments and utilities are
+// quadratic in R (paper eq. (3)/(4) and the payment definition).
+TEST_P(TheoremGrid, ArrivalRateScalingIsQuadratic) {
+  const SystemConfig config = random_config(GetParam() + 5000);
+  const SystemConfig doubled = config.with_arrival_rate(
+      2.0 * config.arrival_rate());
+  CompBonusMechanism mechanism;
+  const auto base = mechanism.run(config, BidProfile::truthful(config));
+  const auto big = mechanism.run(doubled, BidProfile::truthful(doubled));
+  EXPECT_NEAR(big.actual_latency, 4.0 * base.actual_latency,
+              1e-9 * big.actual_latency);
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    EXPECT_NEAR(big.allocation[i], 2.0 * base.allocation[i],
+                1e-9 * std::max(1.0, big.allocation[i]));
+    EXPECT_NEAR(big.agents[i].payment, 4.0 * base.agents[i].payment,
+                1e-9 * std::max(1.0, std::fabs(big.agents[i].payment)));
+  }
+}
+
+// Budget sanity: the mechanism's net outlay (total payment minus total
+// verified cost) equals the sum of bonuses; at the truthful profile that is
+// sum_i (L_{-i} - L*) > 0 — the mechanism runs a deficit, which is the
+// price of incentive compatibility (cf. frugality analysis).
+TEST_P(TheoremGrid, NetOutlayEqualsBonusSum) {
+  const SystemConfig config = random_config(GetParam() + 6000);
+  CompBonusMechanism mechanism;
+  const auto outcome =
+      mechanism.run(config, BidProfile::truthful(config));
+  double bonus_sum = 0.0;
+  for (const auto& agent : outcome.agents) bonus_sum += agent.bonus;
+  const double net_outlay =
+      outcome.total_payment() - outcome.total_valuation_magnitude();
+  EXPECT_NEAR(net_outlay, bonus_sum,
+              1e-9 * std::max(1.0, std::fabs(bonus_sum)));
+  EXPECT_GT(bonus_sum, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TheoremGrid,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace

@@ -1,0 +1,114 @@
+// Unit tests for lbmv/util/thread_pool.h.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "lbmv/util/thread_pool.h"
+
+namespace {
+
+using lbmv::util::parallel_for;
+using lbmv::util::ThreadPool;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto future =
+      pool.submit([] { throw std::runtime_error("task exploded"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      (void)pool.submit([&counter] { ++counter; });
+    }
+  }  // destructor must wait for queued work
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, SingleThreadPoolIsSequentialAndCorrect) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);  // FIFO on one thread
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  const std::size_t n = 10'000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(pool, 0, n, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  parallel_for(pool, 5, 5, [&](std::size_t) { touched = true; });
+  parallel_for(pool, 7, 3, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, RangeSmallerThanPoolStillWorks) {
+  ThreadPool pool(16);
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(pool, 0, 3, [&](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, RethrowsFirstBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 0, 100,
+                            [](std::size_t i) {
+                              if (i == 42) {
+                                throw std::runtime_error("boom");
+                              }
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, GlobalPoolOverloadWorks) {
+  std::atomic<std::size_t> sum{0};
+  parallel_for(0, 1000, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 999u * 1000u / 2u);
+}
+
+TEST(ParallelFor, ParallelSumMatchesSequential) {
+  ThreadPool pool(6);
+  const std::size_t n = 4096;
+  std::vector<double> out(n);
+  parallel_for(pool, 0, n, [&](std::size_t i) {
+    out[i] = static_cast<double>(i) * 0.5;
+  });
+  double total = 0.0;
+  for (double v : out) total += v;
+  EXPECT_DOUBLE_EQ(total, 0.5 * static_cast<double>(n - 1) *
+                              static_cast<double>(n) / 2.0);
+}
+
+}  // namespace

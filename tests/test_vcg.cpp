@@ -1,0 +1,123 @@
+// Tests for the VCG baseline mechanism.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lbmv/analysis/paper_config.h"
+#include "lbmv/core/comp_bonus.h"
+#include "lbmv/core/vcg.h"
+#include "lbmv/model/bids.h"
+
+namespace {
+
+using lbmv::analysis::paper_table1_config;
+using lbmv::core::CompBonusMechanism;
+using lbmv::core::MechanismOutcome;
+using lbmv::core::VcgMechanism;
+using lbmv::model::BidProfile;
+using lbmv::model::SystemConfig;
+
+TEST(Vcg, TruthfulProfileCoincidesWithCompBonus) {
+  // When bids == executions, the Clarke payment equals the
+  // compensation-and-bonus payment (both are c_i + L_{-i} - L).
+  const SystemConfig config = paper_table1_config();
+  VcgMechanism vcg;
+  CompBonusMechanism comp_bonus;
+  const BidProfile truthful = BidProfile::truthful(config);
+  const auto a = vcg.run(config, truthful);
+  const auto b = comp_bonus.run(config, truthful);
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    EXPECT_NEAR(a.agents[i].payment, b.agents[i].payment, 1e-9);
+    EXPECT_NEAR(a.agents[i].utility, b.agents[i].utility, 1e-9);
+  }
+}
+
+TEST(Vcg, PaymentIgnoresExecutionValues) {
+  // No verification: slacking changes the agent's valuation but not its
+  // payment.
+  const SystemConfig config({1.0, 2.0, 5.0}, 10.0);
+  VcgMechanism vcg;
+  const auto honest = vcg.run(config, BidProfile::truthful(config));
+  const auto slack =
+      vcg.run(config, BidProfile::deviate(config, 0, 1.0, 3.0));
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    EXPECT_NEAR(slack.agents[i].payment, honest.agents[i].payment, 1e-10)
+        << "agent " << i;
+  }
+  EXPECT_LT(slack.agents[0].utility, honest.agents[0].utility);
+}
+
+TEST(Vcg, TruthfulBiddingIsDominantOnAGrid) {
+  const SystemConfig config({1.0, 2.0, 4.0, 8.0}, 16.0);
+  VcgMechanism vcg;
+  const double truthful_u =
+      vcg.run(config, BidProfile::truthful(config)).agents[1].utility;
+  for (double mult : {0.2, 0.5, 0.8, 1.2, 2.0, 5.0}) {
+    const auto outcome =
+        vcg.run(config, BidProfile::deviate(config, 1, mult, 1.0));
+    EXPECT_LE(outcome.agents[1].utility, truthful_u + 1e-9)
+        << "bid multiplier " << mult;
+  }
+}
+
+TEST(Vcg, VoluntaryParticipationAtTruth) {
+  const SystemConfig config = paper_table1_config();
+  VcgMechanism vcg;
+  const auto outcome = vcg.run(config, BidProfile::truthful(config));
+  for (const auto& agent : outcome.agents) {
+    EXPECT_GE(agent.utility, -1e-9);
+  }
+}
+
+TEST(Vcg, PaymentDecompositionIsConsistent) {
+  const SystemConfig config({1.0, 3.0}, 4.0);
+  VcgMechanism vcg;
+  const auto outcome =
+      vcg.run(config, BidProfile::deviate(config, 0, 2.0, 2.0));
+  for (const auto& agent : outcome.agents) {
+    EXPECT_NEAR(agent.payment, agent.compensation + agent.bonus, 1e-10);
+  }
+}
+
+TEST(Vcg, DoesNotClaimVerification) {
+  VcgMechanism vcg;
+  EXPECT_FALSE(vcg.uses_verification());
+  EXPECT_EQ(vcg.name(), "vcg");
+}
+
+TEST(Vcg, SlackerPaymentCoincidesWithVerifiedMechanism) {
+  // Structural identity (documented in EXPERIMENTS.md): for a *unilateral*
+  // deviation the verified mechanism's payment to the deviator reduces to
+  // the Clarke payment, so VCG and comp-bonus pay the slacker the same.
+  const SystemConfig config({1.0, 2.0, 5.0}, 10.0);
+  VcgMechanism vcg;
+  CompBonusMechanism verified;
+  const BidProfile slack = BidProfile::deviate(config, 0, 1.0, 2.5);
+  const auto unverified_outcome = vcg.run(config, slack);
+  const auto verified_outcome = verified.run(config, slack);
+  EXPECT_NEAR(unverified_outcome.agents[0].payment,
+              verified_outcome.agents[0].payment, 1e-9);
+}
+
+TEST(Vcg, IgnoresSlackInOtherAgentsPaymentsUnlikeVerified) {
+  // Where the mechanisms genuinely differ: when agent 0 slacks, VCG keeps
+  // paying the bystanders their bid-predicted bonus while the verified
+  // mechanism re-anchors their bonuses to the measured latency.
+  const SystemConfig config({1.0, 2.0, 5.0}, 10.0);
+  VcgMechanism vcg;
+  CompBonusMechanism verified;
+  const BidProfile honest = BidProfile::truthful(config);
+  const BidProfile slack = BidProfile::deviate(config, 0, 1.0, 2.5);
+  const auto vcg_honest = vcg.run(config, honest);
+  const auto vcg_slack = vcg.run(config, slack);
+  const auto verified_slack = verified.run(config, slack);
+  for (std::size_t j = 1; j < config.size(); ++j) {
+    EXPECT_NEAR(vcg_slack.agents[j].payment, vcg_honest.agents[j].payment,
+                1e-9);
+    EXPECT_LT(verified_slack.agents[j].payment,
+              vcg_slack.agents[j].payment);
+  }
+}
+
+}  // namespace

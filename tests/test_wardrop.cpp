@@ -1,0 +1,143 @@
+// Tests for Wardrop equilibria and the price of anarchy on parallel links.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lbmv/alloc/pr_allocator.h"
+#include "lbmv/game/wardrop.h"
+#include "lbmv/model/latency.h"
+#include "lbmv/util/error.h"
+#include "lbmv/util/rng.h"
+
+namespace {
+
+using namespace lbmv::model;
+using lbmv::game::check_wardrop;
+using lbmv::game::price_of_anarchy;
+using lbmv::game::wardrop_equilibrium;
+
+std::vector<std::unique_ptr<LatencyFunction>> linear_links(
+    const std::vector<double>& t) {
+  std::vector<std::unique_ptr<LatencyFunction>> links;
+  for (double ti : t) links.push_back(std::make_unique<LinearLatency>(ti));
+  return links;
+}
+
+TEST(Wardrop, LinearLinksEquilibriumEqualsPrOptimum) {
+  // l(x) = t x: equal latency and equal marginal latency give the same
+  // proportional flow, so the equilibrium *is* the PR optimum — the
+  // paper's model is routing-benign.
+  const std::vector<double> t{1.0, 2.0, 5.0, 10.0};
+  const double demand = 20.0;
+  const auto links = linear_links(t);
+  const Allocation equilibrium = wardrop_equilibrium(links, demand);
+  const Allocation optimum = lbmv::alloc::pr_allocate(t, demand);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_NEAR(equilibrium[i], optimum[i], 1e-8);
+  }
+  const auto poa = price_of_anarchy(links, demand);
+  EXPECT_NEAR(poa.price_of_anarchy(), 1.0, 1e-8);
+}
+
+TEST(Wardrop, EquilibriumConditionsCertified) {
+  std::vector<std::unique_ptr<LatencyFunction>> links;
+  links.push_back(std::make_unique<AffineLatency>(0.5, 1.0));
+  links.push_back(std::make_unique<AffineLatency>(0.1, 3.0));
+  links.push_back(std::make_unique<MM1Latency>(4.0));
+  const double demand = 3.0;
+  const Allocation flow = wardrop_equilibrium(links, demand);
+  const auto report = check_wardrop(flow, links, demand, 1e-6);
+  EXPECT_TRUE(report.valid()) << "violation " << report.max_violation;
+}
+
+TEST(Wardrop, PigouExampleGivesFourThirds) {
+  // Pigou: a (nearly) constant link vs l(x) = x, unit demand.  Equilibrium
+  // dumps everything on the variable link (latency 1); optimum splits.
+  // PoA -> 4/3 as the constant link's slope -> 0.
+  std::vector<std::unique_ptr<LatencyFunction>> links;
+  links.push_back(std::make_unique<AffineLatency>(1.0, 1e-6));
+  links.push_back(std::make_unique<LinearLatency>(1.0));
+  const auto poa = price_of_anarchy(links, 1.0);
+  EXPECT_NEAR(poa.equilibrium_latency, 1.0, 1e-4);
+  EXPECT_NEAR(poa.optimal_latency, 0.75, 1e-4);
+  EXPECT_NEAR(poa.price_of_anarchy(), 4.0 / 3.0, 1e-3);
+}
+
+TEST(Wardrop, SlowExpensiveLinkStaysUnused) {
+  std::vector<std::unique_ptr<LatencyFunction>> links;
+  links.push_back(std::make_unique<LinearLatency>(1.0));
+  links.push_back(std::make_unique<AffineLatency>(100.0, 1.0));  // awful
+  const Allocation flow = wardrop_equilibrium(links, 2.0);
+  EXPECT_NEAR(flow[0], 2.0, 1e-9);
+  EXPECT_NEAR(flow[1], 0.0, 1e-9);
+  EXPECT_TRUE(check_wardrop(flow, links, 2.0).valid());
+}
+
+TEST(Wardrop, Mm1LinksRespectCapacity) {
+  std::vector<std::unique_ptr<LatencyFunction>> links;
+  links.push_back(std::make_unique<MM1Latency>(3.0));
+  links.push_back(std::make_unique<MM1Latency>(2.0));
+  const double demand = 4.0;
+  const Allocation flow = wardrop_equilibrium(links, demand);
+  EXPECT_TRUE(flow.is_feasible(demand, 1e-9));
+  EXPECT_LT(flow[0], 3.0);
+  EXPECT_LT(flow[1], 2.0);
+  EXPECT_TRUE(check_wardrop(flow, links, demand, 1e-6).valid());
+  // Equilibrium is never better than the optimum.
+  const auto poa = price_of_anarchy(links, demand);
+  EXPECT_GE(poa.price_of_anarchy(), 1.0 - 1e-9);
+}
+
+TEST(Wardrop, RejectsBadInput) {
+  std::vector<std::unique_ptr<LatencyFunction>> none;
+  EXPECT_THROW((void)wardrop_equilibrium(none, 1.0),
+               lbmv::util::PreconditionError);
+  std::vector<std::unique_ptr<LatencyFunction>> links;
+  links.push_back(std::make_unique<MM1Latency>(1.0));
+  EXPECT_THROW((void)wardrop_equilibrium(links, 2.0),
+               lbmv::util::PreconditionError);
+  links.clear();
+  links.push_back(std::make_unique<LinearLatency>(1.0));
+  EXPECT_THROW((void)wardrop_equilibrium(links, -1.0),
+               lbmv::util::PreconditionError);
+}
+
+TEST(Wardrop, CheckRejectsNonEquilibriumFlows) {
+  const auto links = linear_links({1.0, 1.0});
+  // Feasible but lopsided: latencies differ.
+  const Allocation lopsided({1.5, 0.5});
+  EXPECT_FALSE(check_wardrop(lopsided, links, 2.0).valid());
+  // Infeasible total.
+  EXPECT_FALSE(check_wardrop(Allocation({1.0, 0.5}), links, 2.0).feasible);
+}
+
+// Property sweep: on random affine instances the PoA lives in [1, 4/3]
+// (Roughgarden–Tardos bound for affine latencies).
+class AffinePoa : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AffinePoa, WithinTheFourThirdsBound) {
+  lbmv::util::Rng rng(GetParam());
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 10));
+  std::vector<std::unique_ptr<LatencyFunction>> links;
+  for (std::size_t i = 0; i < n; ++i) {
+    links.push_back(std::make_unique<AffineLatency>(
+        rng.uniform(0.0, 5.0), rng.uniform(0.05, 4.0)));
+  }
+  const double demand = rng.uniform(0.5, 30.0);
+  const auto poa = price_of_anarchy(links, demand);
+  EXPECT_GE(poa.price_of_anarchy(), 1.0 - 1e-8) << "seed " << GetParam();
+  EXPECT_LE(poa.price_of_anarchy(), 4.0 / 3.0 + 1e-6)
+      << "seed " << GetParam();
+  // And the equilibrium the solver returns really is one.
+  const Allocation flow = wardrop_equilibrium(links, demand);
+  EXPECT_TRUE(check_wardrop(flow, links, demand, 1e-5).valid())
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AffinePoa,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace

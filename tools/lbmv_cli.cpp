@@ -1,0 +1,15 @@
+// The `lbmv` command-line tool.  All behaviour lives in lbmv::cli::run_cli
+// (src/lbmv/cli/commands.cpp) so it can be unit tested; this is only the
+// process entry point.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lbmv/cli/commands.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return lbmv::cli::run_cli(args, std::cout, std::cerr);
+}
