@@ -56,6 +56,48 @@ void BM_ConvexAllocate(benchmark::State& state) {
 }
 BENCHMARK(BM_ConvexAllocate)->RangeMultiplier(4)->Range(4, 1024)->Complexity();
 
+void BM_LeaveOneOutBatch(benchmark::State& state) {
+  // The new payment-engine hot path: all n leave-one-out optima in one call
+  // (closed form R^2 / (S - 1/t_i) for the PR/linear pairing — O(n) total).
+  const auto types = random_types(static_cast<std::size_t>(state.range(0)),
+                                  42);
+  const lbmv::model::LinearFamily family;
+  const lbmv::alloc::PRAllocator allocator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        allocator.leave_one_out_latencies(family, types, 20.0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LeaveOneOutBatch)
+    ->RangeMultiplier(4)
+    ->Range(4, 65536)
+    ->Complexity();
+
+void BM_LeaveOneOutPerAgent(benchmark::State& state) {
+  // The seed's formulation: one profile copy and one fresh re-solve per
+  // agent — O(n^2).  Kept as the baseline the batch API is measured against.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto types = random_types(n, 42);
+  const lbmv::model::LinearFamily family;
+  const lbmv::alloc::PRAllocator allocator;
+  for (auto _ : state) {
+    std::vector<double> out(n);
+    std::vector<double> rest;
+    for (std::size_t i = 0; i < n; ++i) {
+      rest.assign(types.begin(), types.end());
+      rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(i));
+      out[i] = allocator.optimal_latency(family, rest, 20.0);
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LeaveOneOutPerAgent)
+    ->RangeMultiplier(4)
+    ->Range(4, 4096)
+    ->Complexity();
+
 void BM_CompBonusRound(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const lbmv::model::SystemConfig config(random_types(n, 7), 20.0);
@@ -125,5 +167,43 @@ void BM_AuditParallel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AuditParallel)->Unit(benchmark::kMillisecond);
+
+void BM_AuditAll(benchmark::State& state) {
+  // Full-system audit with the incremental per-audit context (O(1) per grid
+  // point) and agent-level parallelism.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const lbmv::model::SystemConfig config(random_types(n, 3), 20.0);
+  const lbmv::core::CompBonusMechanism mechanism;
+  const lbmv::core::TruthfulnessAuditor auditor(mechanism);
+  lbmv::core::AuditOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(auditor.audit_all(config, options));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AuditAll)
+    ->RangeMultiplier(4)
+    ->Range(4, 1024)
+    ->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AuditAllLegacy(benchmark::State& state) {
+  // The pre-context path: every grid point re-runs the full mechanism.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const lbmv::model::SystemConfig config(random_types(n, 3), 20.0);
+  const lbmv::core::CompBonusMechanism mechanism;
+  const lbmv::core::TruthfulnessAuditor auditor(mechanism);
+  lbmv::core::AuditOptions options;
+  options.incremental = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(auditor.audit_all(config, options));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AuditAllLegacy)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Complexity()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include "lbmv/alloc/allocator.h"
 
+#include "lbmv/util/error.h"
+
 namespace lbmv::alloc {
 
 double Allocator::optimal_latency(const model::LatencyFamily& family,
@@ -13,6 +15,25 @@ double Allocator::optimal_latency(const model::LatencyFamily& family,
     return fns;
   }();
   return model::total_latency(x, latencies);
+}
+
+std::vector<double> Allocator::leave_one_out_latencies(
+    const model::LatencyFamily& family, std::span<const double> types,
+    double arrival_rate) const {
+  const std::size_t n = types.size();
+  LBMV_REQUIRE(n >= 2, "leave-one-out requires at least two computers");
+  // One scratch buffer serves every subsystem: it starts as the profile
+  // with agent 0 removed, and after solving subsystem i the single write
+  // scratch[i] = types[i] turns it into the profile with agent i+1 removed.
+  // The element order matches BidProfile::without, so the numeric results
+  // are identical to the per-agent-copy formulation.
+  std::vector<double> scratch(types.begin() + 1, types.end());
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = optimal_latency(family, scratch, arrival_rate);
+    if (i + 1 < n) scratch[i] = types[i];
+  }
+  return out;
 }
 
 }  // namespace lbmv::alloc

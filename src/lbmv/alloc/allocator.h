@@ -10,6 +10,7 @@
 
 #include <span>
 #include <string>
+#include <vector>
 
 #include "lbmv/model/allocation.h"
 #include "lbmv/model/latency.h"
@@ -30,6 +31,17 @@ class Allocator {
   /// Minimum total latency for the given types.  The default evaluates the
   /// allocation; closed-form allocators override with the direct formula.
   [[nodiscard]] virtual double optimal_latency(
+      const model::LatencyFamily& family, std::span<const double> types,
+      double arrival_rate) const;
+
+  /// All n leave-one-out optima in one call: result[i] is the minimum total
+  /// latency of the subsystem with agent i removed, at the same arrival
+  /// rate.  This is the payment engine's hot loop — every marginal-payment
+  /// rule (compensation-and-bonus, VCG) needs the full vector once per
+  /// round.  The default re-solves each subsystem against a single reused
+  /// scratch buffer (n solves, no per-agent profile copies); closed-form
+  /// allocators override with an O(n)-total formula.  Requires n >= 2.
+  [[nodiscard]] virtual std::vector<double> leave_one_out_latencies(
       const model::LatencyFamily& family, std::span<const double> types,
       double arrival_rate) const;
 

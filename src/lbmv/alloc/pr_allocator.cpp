@@ -34,6 +34,20 @@ double pr_optimal_latency(std::span<const double> types, double arrival_rate) {
   return arrival_rate * arrival_rate / inverse_sum(types);
 }
 
+std::vector<double> pr_leave_one_out_latencies(std::span<const double> types,
+                                               double arrival_rate) {
+  LBMV_REQUIRE(types.size() >= 2,
+               "leave-one-out requires at least two computers");
+  LBMV_REQUIRE(arrival_rate > 0.0, "arrival rate must be positive");
+  const double s = inverse_sum(types);
+  const double r2 = arrival_rate * arrival_rate;
+  std::vector<double> out(types.size());
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    out[i] = r2 / (s - 1.0 / types[i]);
+  }
+  return out;
+}
+
 model::Allocation PRAllocator::allocate(const model::LatencyFamily&,
                                         std::span<const double> types,
                                         double arrival_rate) const {
@@ -49,6 +63,15 @@ double PRAllocator::optimal_latency(const model::LatencyFamily& family,
     return pr_optimal_latency(types, arrival_rate);
   }
   return Allocator::optimal_latency(family, types, arrival_rate);
+}
+
+std::vector<double> PRAllocator::leave_one_out_latencies(
+    const model::LatencyFamily& family, std::span<const double> types,
+    double arrival_rate) const {
+  if (dynamic_cast<const model::LinearFamily*>(&family) != nullptr) {
+    return pr_leave_one_out_latencies(types, arrival_rate);
+  }
+  return Allocator::leave_one_out_latencies(family, types, arrival_rate);
 }
 
 }  // namespace lbmv::alloc

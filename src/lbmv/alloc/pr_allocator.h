@@ -14,6 +14,7 @@
 
 #include <span>
 #include <string>
+#include <vector>
 
 #include "lbmv/alloc/allocator.h"
 
@@ -26,6 +27,16 @@ namespace lbmv::alloc {
 /// Closed-form optimal total latency R^2 / sum(1/t_j) (paper eq. (4)).
 [[nodiscard]] double pr_optimal_latency(std::span<const double> types,
                                         double arrival_rate);
+
+/// All n leave-one-out optima in O(n) total: from eq. (4),
+///
+///     L_{-i} = R^2 / (S - 1/t_i)   with   S = sum_j 1/t_j,
+///
+/// so one pass accumulates S and a second reads off every subsystem optimum
+/// — the quadratic blow-up of re-solving n subsystems never materialises.
+/// Requires at least two computers (removing the only one is undefined).
+[[nodiscard]] std::vector<double> pr_leave_one_out_latencies(
+    std::span<const double> types, double arrival_rate);
 
 /// Allocator-interface wrapper around pr_allocate.
 ///
@@ -41,6 +52,9 @@ class PRAllocator final : public Allocator {
   [[nodiscard]] double optimal_latency(const model::LatencyFamily& family,
                                        std::span<const double> types,
                                        double arrival_rate) const override;
+  [[nodiscard]] std::vector<double> leave_one_out_latencies(
+      const model::LatencyFamily& family, std::span<const double> types,
+      double arrival_rate) const override;
   [[nodiscard]] std::string name() const override { return "pr"; }
 };
 

@@ -36,10 +36,21 @@ AuditReport TruthfulnessAuditor::audit_agent(const model::SystemConfig& config,
                "audit grids must be non-empty");
 
   const double truth = config.true_value(agent);
+  // Incremental fast path: across the sweep only this agent's bid and
+  // execution change, so the mechanism can freeze everything else once.
+  const std::unique_ptr<AgentUtilityContext> context =
+      options.incremental
+          ? mechanism_->make_utility_context(config.family(),
+                                             config.arrival_rate(), base,
+                                             agent)
+          : nullptr;
   auto evaluate = [&](double bid_mult, double exec_mult) {
+    const double bid = truth * bid_mult;
+    const double execution = truth * exec_mult;
+    if (context != nullptr) return context->utility(bid, execution);
     model::BidProfile profile = base;
-    profile.bids[agent] = truth * bid_mult;
-    profile.executions[agent] = truth * exec_mult;
+    profile.bids[agent] = bid;
+    profile.executions[agent] = execution;
     const MechanismOutcome outcome = mechanism_->run(config, profile);
     return outcome.agents[agent].utility;
   };
@@ -73,10 +84,20 @@ AuditReport TruthfulnessAuditor::audit_agent(const model::SystemConfig& config,
 
 std::vector<AuditReport> TruthfulnessAuditor::audit_all(
     const model::SystemConfig& config, const AuditOptions& options) const {
-  std::vector<AuditReport> reports;
-  reports.reserve(config.size());
-  for (std::size_t i = 0; i < config.size(); ++i) {
-    reports.push_back(audit_agent(config, i, options));
+  std::vector<AuditReport> reports(config.size());
+  if (options.parallel && config.size() > 1) {
+    // One level of parallelism: across agents, with each per-agent grid
+    // evaluated serially (nesting parallel_for on one fixed-size pool can
+    // starve the inner waits of workers).
+    AuditOptions per_agent = options;
+    per_agent.parallel = false;
+    util::parallel_for(0, config.size(), [&](std::size_t i) {
+      reports[i] = audit_agent(config, i, per_agent);
+    });
+  } else {
+    for (std::size_t i = 0; i < config.size(); ++i) {
+      reports[i] = audit_agent(config, i, options);
+    }
   }
   return reports;
 }

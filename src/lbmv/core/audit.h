@@ -39,6 +39,13 @@ struct AuditOptions {
   std::vector<double> exec_multipliers{1.0, 1.1, 1.25, 1.5, 2.0, 3.0, 4.0};
   bool parallel = true;    ///< evaluate the grid on the global thread pool
   bool keep_grid = false;  ///< retain every Deviation in the report
+  /// Use the mechanism's per-audit utility context when it provides one
+  /// (O(1) per grid point: only the audited agent's bid changes across a
+  /// sweep, so everything else is precomputed).  When false — or when the
+  /// mechanism has no fast path — every grid point re-runs the full
+  /// mechanism.  The two paths agree to floating-point roundoff; the flag
+  /// exists so benches and property tests can compare them.
+  bool incremental = true;
 };
 
 /// Outcome of auditing one agent.

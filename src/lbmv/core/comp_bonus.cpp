@@ -1,8 +1,57 @@
 #include "lbmv/core/comp_bonus.h"
 
+#include "lbmv/alloc/pr_allocator.h"
 #include "lbmv/util/error.h"
 
 namespace lbmv::core {
+namespace {
+
+/// O(1)-per-deviation utility for the linear-family / PR-allocator fast
+/// path (derivation in DESIGN.md, "Payment complexity").  With the other
+/// agents' bids b_j and executions t~_j frozen, precompute
+///
+///   S_rest = sum_{j != i} 1/b_j,          W_rest = sum_{j != i} t~_j/b_j^2,
+///   L_{-i} = R^2 / S_rest,
+///
+/// and each deviation (b, e) of the audited agent costs only
+///
+///   S = S_rest + 1/b,   x_i = R/(bS),   L = (R/S)^2 (W_rest + e/b^2),
+///   U = C + (L_{-i} - L) - e x_i^2,     C = basis * x_i^2.
+class LinearPrUtilityContext final : public AgentUtilityContext {
+ public:
+  LinearPrUtilityContext(double arrival_rate, const model::BidProfile& base,
+                         std::size_t agent, CompensationBasis basis)
+      : arrival_rate_(arrival_rate), basis_(basis) {
+    for (std::size_t j = 0; j < base.size(); ++j) {
+      if (j == agent) continue;
+      const double b = base.bids[j];
+      LBMV_REQUIRE(b > 0.0, "bids must be positive");
+      s_rest_ += 1.0 / b;
+      w_rest_ += base.executions[j] / (b * b);
+    }
+    l_minus_ = arrival_rate * arrival_rate / s_rest_;
+  }
+
+  [[nodiscard]] double utility(double bid, double execution) const override {
+    const double s = s_rest_ + 1.0 / bid;
+    const double xi = arrival_rate_ / (bid * s);
+    const double rs = arrival_rate_ / s;
+    const double actual = rs * rs * (w_rest_ + execution / (bid * bid));
+    const double basis_value =
+        basis_ == CompensationBasis::kExecution ? execution : bid;
+    const double xi2 = xi * xi;
+    return basis_value * xi2 + (l_minus_ - actual) - execution * xi2;
+  }
+
+ private:
+  double arrival_rate_;
+  CompensationBasis basis_;
+  double s_rest_ = 0.0;
+  double w_rest_ = 0.0;
+  double l_minus_ = 0.0;
+};
+
+}  // namespace
 
 CompBonusMechanism::CompBonusMechanism()
     : CompBonusMechanism(default_allocator()) {}
@@ -33,6 +82,12 @@ void CompBonusMechanism::fill_payments(const model::LatencyFamily& family,
   }();
   const double actual_latency = model::total_latency(x, exec_latencies);
 
+  // All n leave-one-out optima in one batch call: O(n) total for the PR
+  // closed form, and one reused scratch buffer (no per-agent profile
+  // copies) for generic allocators.
+  const std::vector<double> latency_without =
+      allocator().leave_one_out_latencies(family, profile.bids, arrival_rate);
+
   for (std::size_t i = 0; i < profile.size(); ++i) {
     auto& agent = outcomes[i];
     // Compensation: the agent's own cost term, at the chosen basis value.
@@ -43,13 +98,25 @@ void CompBonusMechanism::fill_payments(const model::LatencyFamily& family,
         (x[i] == 0.0) ? 0.0 : family.make(basis_value)->cost(x[i]);
 
     // Bonus: optimal latency without agent i minus the verified latency.
-    const model::BidProfile rest = profile.without(i);
-    const double latency_without_i =
-        allocator().optimal_latency(family, rest.bids, arrival_rate);
-    agent.bonus = latency_without_i - actual_latency;
+    agent.bonus = latency_without[i] - actual_latency;
 
     agent.payment = agent.compensation + agent.bonus;
   }
+}
+
+std::unique_ptr<AgentUtilityContext> CompBonusMechanism::make_utility_context(
+    const model::LatencyFamily& family, double arrival_rate,
+    const model::BidProfile& base, std::size_t agent) const {
+  // The closed forms below are exactly the PR allocation on linear
+  // latencies; any other allocator/family pairing must take the slow path.
+  if (dynamic_cast<const model::LinearFamily*>(&family) == nullptr ||
+      dynamic_cast<const alloc::PRAllocator*>(&allocator()) == nullptr) {
+    return nullptr;
+  }
+  LBMV_REQUIRE(agent < base.size(), "agent index out of range");
+  LBMV_REQUIRE(base.size() >= 2, "mechanisms require at least two agents");
+  return std::make_unique<LinearPrUtilityContext>(arrival_rate, base, agent,
+                                                  basis_);
 }
 
 }  // namespace lbmv::core

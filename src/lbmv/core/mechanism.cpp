@@ -78,6 +78,12 @@ MechanismOutcome Mechanism::run(const model::SystemConfig& config,
   return run(config.family(), config.arrival_rate(), profile);
 }
 
+std::unique_ptr<AgentUtilityContext> Mechanism::make_utility_context(
+    const model::LatencyFamily&, double, const model::BidProfile&,
+    std::size_t) const {
+  return nullptr;  // no fast path; audits fall back to run() per deviation
+}
+
 std::shared_ptr<const alloc::Allocator> default_allocator() {
   return std::make_shared<alloc::PRAllocator>();
 }

@@ -52,6 +52,22 @@ struct MechanismOutcome {
   [[nodiscard]] double total_valuation_magnitude() const;
 };
 
+/// Audit fast path: one agent's utility as a function of its own deviation,
+/// with everything that does not depend on that agent's bid or execution
+/// value precomputed at construction.  Built by
+/// Mechanism::make_utility_context for one (base profile, agent) pair; the
+/// truthfulness auditor then queries O(grid) points against the same frozen
+/// opponents at O(1) each instead of re-running the full mechanism.
+/// Implementations must be safe to query concurrently.
+class AgentUtilityContext {
+ public:
+  virtual ~AgentUtilityContext() = default;
+
+  /// Utility of the audited agent when it bids \p bid and executes at
+  /// \p execution (both positive), everything else as in the base profile.
+  [[nodiscard]] virtual double utility(double bid, double execution) const = 0;
+};
+
 /// Base class for load balancing mechanisms (Definition 3.2).
 class Mechanism {
  public:
@@ -78,6 +94,14 @@ class Mechanism {
   /// verification", paper Definition 3.2) — if false, payments depend on the
   /// bids alone and slow execution goes unpunished.
   [[nodiscard]] virtual bool uses_verification() const = 0;
+
+  /// Build an O(1)-per-deviation utility evaluator for audits of \p agent
+  /// against \p base, or nullptr when no closed form applies (callers then
+  /// fall back to run() per deviation).  The base profile's own entries for
+  /// \p agent are irrelevant: every query overrides them.
+  [[nodiscard]] virtual std::unique_ptr<AgentUtilityContext>
+  make_utility_context(const model::LatencyFamily& family, double arrival_rate,
+                       const model::BidProfile& base, std::size_t agent) const;
 
   [[nodiscard]] const alloc::Allocator& allocator() const {
     return *allocator_;

@@ -20,26 +20,27 @@ void VcgMechanism::fill_payments(const model::LatencyFamily& family,
     return fns;
   }();
 
+  // Everybody's reported cost once (O(n)); each agent's "others" term is
+  // then the total minus its own contribution instead of an O(n) re-sum.
+  std::vector<double> own_cost(profile.size());
+  double total_reported_cost = 0.0;
+  for (std::size_t j = 0; j < profile.size(); ++j) {
+    own_cost[j] = (x[j] == 0.0) ? 0.0 : bid_latencies[j]->cost(x[j]);
+    total_reported_cost += own_cost[j];
+  }
+  const std::vector<double> latency_without =
+      allocator().leave_one_out_latencies(family, profile.bids, arrival_rate);
+
   for (std::size_t i = 0; i < profile.size(); ++i) {
     auto& agent = outcomes[i];
-    // Reported cost of everybody else under the chosen allocation.
-    double others_cost = 0.0;
-    for (std::size_t j = 0; j < profile.size(); ++j) {
-      if (j == i || x[j] == 0.0) continue;
-      others_cost += bid_latencies[j]->cost(x[j]);
-    }
-    const model::BidProfile rest = profile.without(i);
-    const double latency_without_i =
-        allocator().optimal_latency(family, rest.bids, arrival_rate);
+    const double others_cost = total_reported_cost - own_cost[i];
 
     // Clarke pivot; for bookkeeping we expose the pivot as "bonus" and the
     // agent's own reported cost as "compensation", mirroring the fact that
     // P_i = c_i(b) + (L_{-i} - L(b)).
-    const double own_reported_cost =
-        (x[i] == 0.0) ? 0.0 : bid_latencies[i]->cost(x[i]);
-    agent.compensation = own_reported_cost;
-    agent.bonus = latency_without_i - (others_cost + own_reported_cost);
-    agent.payment = latency_without_i - others_cost;
+    agent.compensation = own_cost[i];
+    agent.bonus = latency_without[i] - total_reported_cost;
+    agent.payment = latency_without[i] - others_cost;
   }
 }
 

@@ -24,16 +24,22 @@ BidProfile BidProfile::deviate(const SystemConfig& config, std::size_t i,
 }
 
 BidProfile BidProfile::without(std::size_t i) const {
-  LBMV_REQUIRE(i < bids.size(), "agent index out of range");
   BidProfile rest;
-  rest.bids.reserve(bids.size() - 1);
-  rest.executions.reserve(executions.size() - 1);
+  copy_without_into(i, rest);
+  return rest;
+}
+
+void BidProfile::copy_without_into(std::size_t i, BidProfile& scratch) const {
+  LBMV_REQUIRE(i < bids.size(), "agent index out of range");
+  scratch.bids.clear();
+  scratch.executions.clear();
+  scratch.bids.reserve(bids.size() - 1);
+  scratch.executions.reserve(executions.size() - 1);
   for (std::size_t j = 0; j < bids.size(); ++j) {
     if (j == i) continue;
-    rest.bids.push_back(bids[j]);
-    rest.executions.push_back(executions[j]);
+    scratch.bids.push_back(bids[j]);
+    scratch.executions.push_back(executions[j]);
   }
-  return rest;
 }
 
 void BidProfile::validate(std::size_t n) const {

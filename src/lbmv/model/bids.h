@@ -38,6 +38,11 @@ struct BidProfile {
   /// Profile over the remaining agents when agent i is removed.
   [[nodiscard]] BidProfile without(std::size_t i) const;
 
+  /// In-place variant of without() for hot paths: fills \p scratch with
+  /// every agent but \p i, reusing its capacity so a scratch profile
+  /// carried across a leave-one-out loop allocates at most once.
+  void copy_without_into(std::size_t i, BidProfile& scratch) const;
+
   /// Throw unless sizes match \p n and all values are positive.
   void validate(std::size_t n) const;
 

@@ -35,15 +35,21 @@ SystemConfig SystemConfig::with_arrival_rate(double rate) const {
 }
 
 SystemConfig SystemConfig::without(std::size_t i) const {
-  LBMV_REQUIRE(i < true_values_.size(), "computer index out of range");
   LBMV_REQUIRE(true_values_.size() > 1,
                "cannot remove the only computer from a system");
   std::vector<double> rest;
-  rest.reserve(true_values_.size() - 1);
-  for (std::size_t j = 0; j < true_values_.size(); ++j) {
-    if (j != i) rest.push_back(true_values_[j]);
-  }
+  copy_without_into(i, rest);
   return SystemConfig(std::move(rest), arrival_rate_, family_);
+}
+
+void SystemConfig::copy_without_into(std::size_t i,
+                                     std::vector<double>& types) const {
+  LBMV_REQUIRE(i < true_values_.size(), "computer index out of range");
+  types.clear();
+  types.reserve(true_values_.size() - 1);
+  for (std::size_t j = 0; j < true_values_.size(); ++j) {
+    if (j != i) types.push_back(true_values_[j]);
+  }
 }
 
 std::vector<std::unique_ptr<LatencyFunction>> SystemConfig::instantiate(

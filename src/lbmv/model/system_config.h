@@ -47,6 +47,11 @@ class SystemConfig {
   /// Copy without computer i (for L_{-i} computations).
   [[nodiscard]] SystemConfig without(std::size_t i) const;
 
+  /// In-place variant of without() for hot paths: fills \p types with the
+  /// true values of every computer but \p i, reusing the vector's capacity
+  /// across a leave-one-out loop instead of building a fresh config.
+  void copy_without_into(std::size_t i, std::vector<double>& types) const;
+
   /// Latency curves instantiated at arbitrary type values (e.g. bids or
   /// execution values).  Requires values.size() == size().
   [[nodiscard]] std::vector<std::unique_ptr<LatencyFunction>> instantiate(

@@ -1,0 +1,165 @@
+// Records the repo's performance trajectory: times the payment-engine and
+// audit hot paths at n = 64 / 256 / 1024 and writes BENCH_perf.json.  Run
+// from the repo root after a perf-relevant change and commit the file so
+// regressions (or wins) are visible in history:
+//
+//     ./build/tools/lbmv_bench_perf [output.json]
+//
+// Measured series:
+//   * pr_allocate              closed-form PR allocation            O(n)
+//   * leave_one_out_batch      batch L_{-i} engine (closed form)    O(n)
+//   * leave_one_out_per_agent  seed formulation: re-solve per agent O(n^2)
+//   * comp_bonus_round         full mechanism round                 O(n)
+//   * audit_all                incremental audit, parallel agents
+//   * audit_all_legacy         full mechanism re-run per grid point
+//                              (n <= 256: the quadratic path is the point)
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lbmv/alloc/pr_allocator.h"
+#include "lbmv/core/audit.h"
+#include "lbmv/core/comp_bonus.h"
+#include "lbmv/model/bids.h"
+#include "lbmv/model/system_config.h"
+#include "lbmv/util/json.h"
+#include "lbmv/util/rng.h"
+
+namespace {
+
+using lbmv::util::JsonValue;
+
+std::vector<double> random_types(std::size_t n, std::uint64_t seed) {
+  lbmv::util::Rng rng(seed);
+  std::vector<double> t(n);
+  for (double& ti : t) {
+    ti = std::exp(rng.uniform(std::log(0.2), std::log(20.0)));
+  }
+  return t;
+}
+
+/// Seconds per call: warm up once, then repeat until the total exceeds
+/// min_seconds (and at least min_reps calls) so fast paths are not measured
+/// off a single clock tick.
+template <typename F>
+double seconds_per_call(F&& f, double min_seconds = 0.2, int min_reps = 5) {
+  using clock = std::chrono::steady_clock;
+  f();  // warm-up
+  int reps = 0;
+  const auto start = clock::now();
+  double elapsed = 0.0;
+  while (elapsed < min_seconds || reps < min_reps) {
+    f();
+    ++reps;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+    if (reps >= 1000000) break;
+  }
+  return elapsed / reps;
+}
+
+struct Result {
+  std::string name;
+  std::size_t n;
+  double seconds;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string output = argc > 1 ? argv[1] : "BENCH_perf.json";
+  const double arrival_rate = 20.0;
+  const std::vector<std::size_t> sizes{64, 256, 1024};
+
+  const lbmv::model::LinearFamily family;
+  const lbmv::alloc::PRAllocator allocator;
+  std::vector<Result> results;
+  double audit_incremental_256 = 0.0;
+  double audit_legacy_256 = 0.0;
+
+  for (std::size_t n : sizes) {
+    const auto types = random_types(n, 42);
+    const lbmv::model::SystemConfig config(types, arrival_rate);
+    const lbmv::core::CompBonusMechanism mechanism;
+    const auto profile = lbmv::model::BidProfile::truthful(config);
+
+    results.push_back({"pr_allocate", n, seconds_per_call([&] {
+                         (void)lbmv::alloc::pr_allocate(types, arrival_rate);
+                       })});
+
+    results.push_back(
+        {"leave_one_out_batch", n, seconds_per_call([&] {
+           (void)allocator.leave_one_out_latencies(family, types,
+                                                   arrival_rate);
+         })});
+
+    results.push_back(
+        {"leave_one_out_per_agent", n, seconds_per_call([&] {
+           std::vector<double> out(n);
+           std::vector<double> rest;
+           for (std::size_t i = 0; i < n; ++i) {
+             rest.assign(types.begin(), types.end());
+             rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(i));
+             out[i] = allocator.optimal_latency(family, rest, arrival_rate);
+           }
+         })});
+
+    results.push_back({"comp_bonus_round", n, seconds_per_call([&] {
+                         (void)mechanism.run(config, profile);
+                       })});
+
+    const lbmv::core::TruthfulnessAuditor auditor(mechanism);
+    lbmv::core::AuditOptions incremental;
+    const double audit_seconds = seconds_per_call(
+        [&] { (void)auditor.audit_all(config, incremental); }, 0.5, 3);
+    results.push_back({"audit_all", n, audit_seconds});
+    if (n == 256) audit_incremental_256 = audit_seconds;
+
+    if (n <= 256) {
+      lbmv::core::AuditOptions legacy;
+      legacy.incremental = false;
+      const double legacy_seconds = seconds_per_call(
+          [&] { (void)auditor.audit_all(config, legacy); }, 0.5, 3);
+      results.push_back({"audit_all_legacy", n, legacy_seconds});
+      if (n == 256) audit_legacy_256 = legacy_seconds;
+    }
+  }
+
+  JsonValue::Array series;
+  for (const auto& r : results) {
+    JsonValue::Object entry;
+    entry["name"] = r.name;
+    entry["n"] = static_cast<double>(r.n);
+    entry["seconds_per_call"] = r.seconds;
+    series.emplace_back(std::move(entry));
+    std::cout << r.name << " n=" << r.n << ": " << r.seconds * 1e6
+              << " us/call\n";
+  }
+
+  JsonValue::Object derived;
+  if (audit_incremental_256 > 0.0 && audit_legacy_256 > 0.0) {
+    derived["audit_all_speedup_n256"] =
+        audit_legacy_256 / audit_incremental_256;
+    std::cout << "audit_all speedup at n=256: "
+              << audit_legacy_256 / audit_incremental_256 << "x\n";
+  }
+
+  JsonValue::Object doc;
+  doc["schema"] = "lbmv-bench-perf-v1";
+  doc["arrival_rate"] = arrival_rate;
+  doc["results"] = std::move(series);
+  doc["derived"] = std::move(derived);
+
+  std::ofstream out(output);
+  if (!out) {
+    std::cerr << "cannot open " << output << " for writing\n";
+    return 1;
+  }
+  out << JsonValue(std::move(doc)).dump(2) << "\n";
+  std::cout << "wrote " << output << "\n";
+  return 0;
+}
