@@ -18,11 +18,44 @@
 #include "lbmv/alloc/pr_allocator.h"
 #include "lbmv/core/comp_bonus.h"
 #include "lbmv/core/no_payment.h"
+#include "lbmv/sim/replication.h"
 #include "lbmv/strategy/learning.h"
 #include "lbmv/util/stats.h"
 #include "lbmv/util/table.h"
 
 namespace {
+
+/// Run one scenario over independent learning seeds (parallel replications,
+/// streams split from one root) and report the seed-averaged outcome along
+/// with the first replication's detail table.
+lbmv::strategy::LearningResult replicate(
+    const lbmv::core::Mechanism& mechanism,
+    const lbmv::model::SystemConfig& config,
+    const lbmv::strategy::LearningOptions& base, double optimal,
+    const char* title) {
+  using namespace lbmv;
+  sim::ReplicationOptions replication;
+  replication.replications = 5;
+  replication.root_seed = 17;
+  const sim::ReplicationRunner runner(replication);
+  const auto results = runner.map<strategy::LearningResult>(
+      [&](std::size_t, util::Rng& rng) {
+        strategy::LearningOptions options = base;
+        options.seed = rng.seed();
+        return strategy::run_learning(mechanism, config, options);
+      });
+  util::RunningStats truthful, latency;
+  for (const auto& r : results) {
+    truthful.add(r.truthful_fraction);
+    latency.add(r.final_greedy_latency);
+  }
+  std::printf(
+      "[%s]\n%zu seeds: mean truthful fraction %.2f, mean final latency "
+      "%.3f +/- %.3f (optimal %.3f)\n",
+      title, results.size(), truthful.mean(), latency.mean(),
+      latency.ci95_halfwidth(), optimal);
+  return results.front();
+}
 
 void describe(const char* title, const lbmv::model::SystemConfig& config,
               const lbmv::strategy::LearningResult& result, double optimal) {
@@ -66,17 +99,23 @@ int main() {
   single.single_learner = 0;
   single.rounds = 800;
   describe("one learner among truthful machines (verified mechanism)",
-           config, strategy::run_learning(verified, config, single),
+           config,
+           replicate(verified, config, single, optimal,
+                     "scenario 1, seed-replicated"),
            optimal);
 
   strategy::LearningOptions all;
   all.rounds = 1500;
   describe("all agents learning (verified mechanism)", config,
-           strategy::run_learning(verified, config, all), optimal);
+           replicate(verified, config, all, optimal,
+                     "scenario 2, seed-replicated"),
+           optimal);
 
   core::NoPaymentMechanism classical;
   describe("all agents learning (no payments)", config,
-           strategy::run_learning(classical, config, all), optimal);
+           replicate(classical, config, all, optimal,
+                     "scenario 3, seed-replicated"),
+           optimal);
 
   std::printf(
       "Note on scenario 3: every learner ends at the bid ceiling; since\n"

@@ -6,6 +6,10 @@
 // system over a sweep of arrival rates and compare the measured total
 // latency with the analytic L = sum t_i x_i^2, reporting where the linear
 // approximation starts to bend (utilisation grows with R).
+//
+// Each point is a parallel Monte-Carlo estimate: independent replications
+// fan out across the thread pool (distinct RNG streams split from one root
+// seed), and we report the mean measured latency with a 95% half-width.
 
 #include <cstdio>
 #include <vector>
@@ -13,6 +17,7 @@
 #include "lbmv/core/comp_bonus.h"
 #include "lbmv/model/bids.h"
 #include "lbmv/sim/protocol.h"
+#include "lbmv/sim/replication.h"
 #include "lbmv/util/ascii_chart.h"
 #include "lbmv/util/table.h"
 
@@ -24,27 +29,33 @@ int main() {
   const std::vector<double> types{0.01, 0.01, 0.02, 0.04};
   const core::CompBonusMechanism mechanism;
 
+  sim::ReplicationOptions replication;
+  replication.replications = 8;
+  replication.root_seed = 5;
+
   Table table({"R (jobs/s)", "max rho", "analytic L", "measured L",
-               "rel. err"});
+               "95% +/-", "rel. err"});
   util::Series analytic_series{"analytic", {}, {}};
   util::Series measured_series{"measured", {}, {}};
 
   for (double rate : {0.5, 1.0, 2.0, 3.0, 4.0, 5.0}) {
     const model::SystemConfig config(types, rate);
     sim::ProtocolOptions options;
-    options.horizon = 40000.0;
-    options.seed = 5;
+    options.horizon = 10000.0;
     const sim::VerifiedProtocol protocol(mechanism, options);
-    const auto report =
-        protocol.run_round(config, model::BidProfile::truthful(config));
-    const double analytic = report.oracle_outcome.actual_latency;
-    const double measured = report.metrics.measured_total_latency;
+    const sim::ReplicatedRoundReport merged = protocol.run_replicated(
+        config, model::BidProfile::truthful(config), replication);
+    const auto& first = merged.rounds.front();
+    const double analytic = first.oracle_outcome.actual_latency;
+    const double measured = merged.measured_latency.mean();
+    const double half = merged.measured_latency.ci95_halfwidth();
     double max_rho = 0.0;
-    for (const auto& sm : report.metrics.servers) {
+    for (const auto& sm : first.metrics.servers) {
       max_rho = std::max(max_rho, sm.utilization);
     }
     table.add_row({Table::num(rate, 1), Table::num(max_rho, 3),
                    Table::num(analytic, 4), Table::num(measured, 4),
+                   Table::num(half, 4),
                    Table::pct(measured / analytic - 1.0)});
     analytic_series.xs.push_back(rate);
     analytic_series.ys.push_back(analytic);
@@ -54,9 +65,9 @@ int main() {
 
   std::printf(
       "Ablation A4: analytic linear model vs discrete-event simulation\n"
-      "(truthful profile; measured L = sum_i throughput_i * mean waiting)\n"
-      "%s\n",
-      table.to_markdown().c_str());
+      "(truthful profile; %zu replications per point, mean +/- 95%% CI;\n"
+      " measured L = sum_i throughput_i * mean waiting)\n%s\n",
+      replication.replications, table.to_markdown().c_str());
   std::printf("%s", util::line_chart("total latency vs arrival rate",
                                      {analytic_series, measured_series})
                         .c_str());

@@ -68,7 +68,11 @@ AuditReport TruthfulnessAuditor::audit_agent(const model::SystemConfig& config,
     grid[k] = Deviation{bm, em, evaluate(bm, em)};
   };
   if (options.parallel) {
-    util::parallel_for(0, grid.size(), body);
+    // Grain-size control: incremental grid points are O(1), so chunk them
+    // coarsely to amortise task overhead; the legacy full-mechanism path is
+    // heavy enough that fine chunks load-balance better.
+    util::ThreadPool::global().parallel_for(0, grid.size(), body,
+                                            options.incremental ? 64 : 1);
   } else {
     for (std::size_t k = 0; k < grid.size(); ++k) body(k);
   }
@@ -91,9 +95,10 @@ std::vector<AuditReport> TruthfulnessAuditor::audit_all(
     // starve the inner waits of workers).
     AuditOptions per_agent = options;
     per_agent.parallel = false;
-    util::parallel_for(0, config.size(), [&](std::size_t i) {
-      reports[i] = audit_agent(config, i, per_agent);
-    });
+    util::ThreadPool::global().parallel_for(
+        0, config.size(),
+        [&](std::size_t i) { reports[i] = audit_agent(config, i, per_agent); },
+        /*grain=*/1);
   } else {
     for (std::size_t i = 0; i < config.size(); ++i) {
       reports[i] = audit_agent(config, i, options);
@@ -155,7 +160,7 @@ CoalitionReport CoalitionAuditor::audit_pair(const model::SystemConfig& config,
     grid[k] = d;
   };
   if (options.parallel) {
-    util::parallel_for(0, grid.size(), body);
+    util::ThreadPool::global().parallel_for(0, grid.size(), body);
   } else {
     for (std::size_t k = 0; k < grid.size(); ++k) body(k);
   }

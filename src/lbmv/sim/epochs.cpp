@@ -93,4 +93,28 @@ EpochReport run_epochs(const core::Mechanism& mechanism,
   return report;
 }
 
+ReplicatedEpochReport run_epochs_replicated(
+    const core::Mechanism& mechanism,
+    const model::SystemConfig& initial_config, const EpochOptions& options,
+    const ReplicationOptions& replication) {
+  const ReplicationRunner runner(replication);
+
+  ReplicatedEpochReport merged;
+  merged.runs.resize(replication.replications);
+  runner.run([&](std::size_t rep, util::Rng& rng) {
+    EpochOptions per_run = options;
+    per_run.seed = rng.seed();  // distinct drift path per replication
+    merged.runs[rep] = run_epochs(mechanism, initial_config, per_run);
+  });
+
+  merged.cumulative_utility.resize(initial_config.size());
+  for (const EpochReport& run : merged.runs) {
+    merged.mean_efficiency.add(run.mean_efficiency);
+    for (std::size_t i = 0; i < initial_config.size(); ++i) {
+      merged.cumulative_utility[i].add(run.cumulative_utility[i]);
+    }
+  }
+  return merged;
+}
+
 }  // namespace lbmv::sim

@@ -18,6 +18,8 @@
 
 #include "lbmv/core/mechanism.h"
 #include "lbmv/model/system_config.h"
+#include "lbmv/sim/replication.h"
+#include "lbmv/util/stats.h"
 
 namespace lbmv::sim {
 
@@ -55,5 +57,23 @@ struct EpochReport {
 [[nodiscard]] EpochReport run_epochs(const core::Mechanism& mechanism,
                                      const model::SystemConfig& initial_config,
                                      const EpochOptions& options = {});
+
+/// Monte-Carlo summary over independent drift paths.
+struct ReplicatedEpochReport {
+  std::vector<EpochReport> runs;         ///< one per replication
+  util::RunningStats mean_efficiency;    ///< across replications
+  /// Per-agent cumulative utility across replications.
+  std::vector<util::RunningStats> cumulative_utility;
+};
+
+/// Run \p replication.replications independent epoch runs — each a distinct
+/// drift path whose seed is split from replication.root_seed (the seed in
+/// \p options is ignored) — across the thread pool, merging at the barrier.
+/// Epochs inside a run stay strictly sequential (epoch e+1 depends on e);
+/// the replications are the parallel axis.
+[[nodiscard]] ReplicatedEpochReport run_epochs_replicated(
+    const core::Mechanism& mechanism,
+    const model::SystemConfig& initial_config, const EpochOptions& options,
+    const ReplicationOptions& replication = {});
 
 }  // namespace lbmv::sim

@@ -1,0 +1,134 @@
+#include "lbmv/sim/legacy_engine.h"
+
+#include <utility>
+
+#include "lbmv/util/error.h"
+
+namespace lbmv::sim::legacy {
+
+// ---- Simulation: verbatim seed implementation -----------------------------
+
+void Simulation::schedule(SimTime time, Handler handler) {
+  LBMV_REQUIRE(time >= now_, "cannot schedule an event in the past");
+  LBMV_REQUIRE(handler != nullptr, "event handler must not be null");
+  queue_.push(Event{time, next_seq_++, std::move(handler)});
+}
+
+void Simulation::schedule_after(SimTime delay, Handler handler) {
+  LBMV_REQUIRE(delay >= 0.0, "delay must be non-negative");
+  schedule(now_ + delay, std::move(handler));
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the handler is moved out via const_cast on
+  // a field that is never read again before pop.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.time;
+  ++processed_;
+  event.handler();
+  return true;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+void Simulation::run_until(SimTime t) {
+  LBMV_REQUIRE(t >= now_, "cannot run the clock backwards");
+  while (!queue_.empty() && queue_.top().time <= t) {
+    step();
+  }
+  now_ = t;
+}
+
+// ---- Server: verbatim seed implementation ---------------------------------
+
+Server::Server(Simulation& sim, std::string name, double execution_value,
+               ServiceModel model, util::Rng rng)
+    : sim_(&sim),
+      name_(std::move(name)),
+      execution_value_(execution_value),
+      model_(model),
+      mean_service_(mean_service_from_linear_coefficient(execution_value,
+                                                         model)),
+      rng_(rng) {}
+
+void Server::submit(const Job& job) {
+  queue_.push_back(Job{job.id, sim_->now()});
+  if (!busy_) begin_service();
+}
+
+void Server::begin_service() {
+  LBMV_ASSERT(head_ < queue_.size(), "begin_service with an empty queue");
+  busy_ = true;
+  const Job job = queue_[head_++];
+  if (head_ > 1024 && head_ * 2 > queue_.size()) {
+    queue_.erase(queue_.begin(),
+                 queue_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+  double service = mean_service_;
+  switch (model_) {
+    case ServiceModel::kExponential:
+      service = rng_.exponential(1.0 / mean_service_);
+      break;
+    case ServiceModel::kDeterministic:
+      break;
+    case ServiceModel::kErlang2:
+      service = rng_.exponential(2.0 / mean_service_) +
+                rng_.exponential(2.0 / mean_service_);
+      break;
+  }
+  const SimTime start = sim_->now();
+  busy_time_ += service;
+  sim_->schedule_after(service, [this, job, start, service] {
+    completions_.push_back(
+        Completion{job.id, job.arrival, start, start + service});
+    if (head_ < queue_.size()) {
+      begin_service();
+    } else {
+      busy_ = false;
+    }
+  });
+}
+
+// ---- JobSource: verbatim seed implementation ------------------------------
+
+JobSource::JobSource(Simulation& sim, std::span<Server* const> servers,
+                     std::vector<double> rates, SimTime horizon,
+                     util::Rng rng)
+    : sim_(&sim),
+      servers_(servers.begin(), servers.end()),
+      rates_(std::move(rates)),
+      total_rate_(0.0),
+      horizon_(horizon),
+      rng_(rng),
+      counts_(servers_.size(), 0) {
+  LBMV_REQUIRE(!servers_.empty(), "job source needs at least one server");
+  LBMV_REQUIRE(rates_.size() == servers_.size(),
+               "one rate per server required");
+  for (std::size_t i = 0; i < rates_.size(); ++i) {
+    LBMV_REQUIRE(servers_[i] != nullptr, "servers must not be null");
+    LBMV_REQUIRE(rates_[i] >= 0.0, "rates must be non-negative");
+    total_rate_ += rates_[i];
+  }
+  LBMV_REQUIRE(total_rate_ > 0.0, "total arrival rate must be positive");
+  LBMV_REQUIRE(horizon_ > 0.0, "horizon must be positive");
+}
+
+void JobSource::start() {
+  sim_->schedule_after(rng_.exponential(total_rate_), [this] { arrival(); });
+}
+
+void JobSource::arrival() {
+  if (sim_->now() > horizon_) return;
+  const std::size_t target = rng_.categorical(rates_);
+  ++counts_[target];
+  servers_[target]->submit(Job{next_job_id_++, sim_->now()});
+  sim_->schedule_after(rng_.exponential(total_rate_), [this] { arrival(); });
+}
+
+}  // namespace lbmv::sim::legacy

@@ -22,6 +22,12 @@ VerifiedProtocol::VerifiedProtocol(const core::Mechanism& mechanism,
 RoundReport VerifiedProtocol::run_round(
     const model::SystemConfig& config,
     const model::BidProfile& intents) const {
+  return run_round(config, intents, options_.seed);
+}
+
+RoundReport VerifiedProtocol::run_round(const model::SystemConfig& config,
+                                        const model::BidProfile& intents,
+                                        std::uint64_t seed) const {
   const std::size_t n = config.size();
   intents.validate(n);
   LBMV_REQUIRE(
@@ -38,15 +44,21 @@ RoundReport VerifiedProtocol::run_round(
   report.messages += n;
 
   // Step 3: execute the jobs on simulated servers.
-  util::Rng rng(options_.seed);
+  util::Rng rng(seed);
   Simulation sim;
   std::vector<std::unique_ptr<Server>> servers;
   std::vector<Server*> server_ptrs;
   servers.reserve(n);
+  // Arena pre-sizing: ~R * horizon jobs arrive system-wide; spreading that
+  // evenly is only a hint, but it keeps steady-state runs allocation-free.
+  const double expected_jobs =
+      config.arrival_rate() * options_.horizon / static_cast<double>(n);
   for (std::size_t i = 0; i < n; ++i) {
     servers.push_back(std::make_unique<Server>(
         sim, "C" + std::to_string(i + 1), intents.executions[i],
         options_.service_model, rng.split(i + 1)));
+    servers.back()->reserve(static_cast<std::size_t>(2.0 * expected_jobs) +
+                            16);
     server_ptrs.push_back(servers.back().get());
   }
   std::vector<double> rates(report.allocation.rates().begin(),
@@ -84,6 +96,34 @@ RoundReport VerifiedProtocol::run_round(
   report.oracle_outcome = mechanism_->run(config, intents);
   report.messages += n;
   return report;
+}
+
+ReplicatedRoundReport VerifiedProtocol::run_replicated(
+    const model::SystemConfig& config, const model::BidProfile& intents,
+    const ReplicationOptions& replication) const {
+  const std::size_t n = config.size();
+  const ReplicationRunner runner(replication);
+
+  ReplicatedRoundReport merged;
+  merged.rounds.resize(replication.replications);
+  // Fan out: each replication runs the identical round under its own split
+  // RNG stream and writes only its own slot.
+  runner.run([&](std::size_t rep, util::Rng& rng) {
+    merged.rounds[rep] = run_round(config, intents, rng.seed());
+  });
+
+  // Barrier merge, in replication order for determinism.
+  merged.estimated_execution.resize(n);
+  merged.payments.resize(n);
+  for (const RoundReport& round : merged.rounds) {
+    merged.measured_latency.add(round.metrics.measured_total_latency);
+    merged.total_jobs.add(static_cast<double>(round.metrics.total_jobs()));
+    for (std::size_t i = 0; i < n; ++i) {
+      merged.estimated_execution[i].add(round.estimated_execution[i]);
+      merged.payments[i].add(round.outcome.agents[i].payment);
+    }
+  }
+  return merged;
 }
 
 }  // namespace lbmv::sim

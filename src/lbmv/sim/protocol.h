@@ -25,7 +25,9 @@
 #include "lbmv/model/bids.h"
 #include "lbmv/model/system_config.h"
 #include "lbmv/sim/metrics.h"
+#include "lbmv/sim/replication.h"
 #include "lbmv/sim/server.h"
+#include "lbmv/util/stats.h"
 
 namespace lbmv::sim {
 
@@ -51,6 +53,20 @@ struct RoundReport {
   std::size_t messages = 0;              ///< protocol messages (3n)
 };
 
+/// Monte-Carlo summary over independent replications of one round.
+/// Per-replication reports are kept (indexed by replication) alongside
+/// merged statistics accumulated in replication order, so the summary is
+/// bit-identical regardless of how many threads ran the fan-out.
+struct ReplicatedRoundReport {
+  std::vector<RoundReport> rounds;          ///< one per replication
+  util::RunningStats measured_latency;      ///< measured L across reps
+  util::RunningStats total_jobs;            ///< completed jobs across reps
+  /// Per-agent estimate t^ across replications (verification noise).
+  std::vector<util::RunningStats> estimated_execution;
+  /// Per-agent verified payment across replications.
+  std::vector<util::RunningStats> payments;
+};
+
 /// Orchestrates mechanism + simulator + estimator.
 class VerifiedProtocol {
  public:
@@ -62,6 +78,20 @@ class VerifiedProtocol {
   /// up front and the execution values only through estimation.
   [[nodiscard]] RoundReport run_round(const model::SystemConfig& config,
                                       const model::BidProfile& intents) const;
+
+  /// run_round with the RNG seed overridden (the rest of the options are
+  /// unchanged).  This is the entry point replications use: each gets a
+  /// distinct seed derived from the replication root.
+  [[nodiscard]] RoundReport run_round(const model::SystemConfig& config,
+                                      const model::BidProfile& intents,
+                                      std::uint64_t seed) const;
+
+  /// Fan \p replication.replications independent rounds (distinct RNG
+  /// streams split from replication.root_seed) across the thread pool and
+  /// merge the metrics at the barrier.
+  [[nodiscard]] ReplicatedRoundReport run_replicated(
+      const model::SystemConfig& config, const model::BidProfile& intents,
+      const ReplicationOptions& replication = {}) const;
 
   [[nodiscard]] const ProtocolOptions& options() const { return options_; }
 

@@ -72,17 +72,38 @@ void Server::begin_service() {
                 rng_.exponential(2.0 / mean_service_);
       break;
   }
-  const SimTime start = sim_->now();
+  in_service_ = job;
+  service_start_ = sim_->now();
+  service_duration_ = service;
   busy_time_ += service;
-  sim_->schedule_after(service, [this, job, start, service] {
-    completions_.push_back(
-        Completion{job.id, job.arrival, start, start + service});
-    if (head_ < queue_.size()) {
-      begin_service();
-    } else {
-      busy_ = false;
-    }
-  });
+  sim_->schedule_event_after(service, EventKind::kServiceCompletion, this);
+}
+
+void Server::on_sim_event(Simulation& sim, EventKind kind) {
+  (void)sim;
+  LBMV_ASSERT(kind == EventKind::kServiceCompletion,
+              "server only handles service completions");
+  completions_.push_back(Completion{in_service_.id, in_service_.arrival,
+                                    service_start_,
+                                    service_start_ + service_duration_});
+  if (head_ < queue_.size()) {
+    begin_service();
+  } else {
+    busy_ = false;
+  }
+}
+
+void Server::reserve(std::size_t expected_jobs) {
+  queue_.reserve(expected_jobs);
+  completions_.reserve(expected_jobs);
+}
+
+void Server::reset() {
+  LBMV_REQUIRE(!busy_, "cannot reset a server with a job in service");
+  queue_.clear();
+  head_ = 0;
+  busy_time_ = 0.0;
+  completions_.clear();
 }
 
 }  // namespace lbmv::sim

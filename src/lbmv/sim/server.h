@@ -12,6 +12,13 @@
 /// executing at value t~ >= t stretches its service times by
 /// sqrt(t~ / t).  The verification step can therefore recover t~ from the
 /// observed service times alone (rate_estimator.h).
+///
+/// Hot-path design: the server is an EventSink — service completions are
+/// typed events, and the in-service job's (id, arrival, start, duration)
+/// live in server members rather than a per-event closure capture, so a
+/// steady-state run allocates nothing per job.  The job queue and the
+/// completion log are flat per-server arenas (reserve() pre-sizes them,
+/// reset() recycles them across replications without freeing).
 
 #include <cstdint>
 #include <string>
@@ -58,7 +65,7 @@ struct Completion {
 };
 
 /// FCFS single-server queue bound to a Simulation.
-class Server {
+class Server final : public EventSink {
  public:
   /// \p execution_value is the linear coefficient t~ the server actually
   /// runs at; the mean service time is derived per \p model.
@@ -67,6 +74,18 @@ class Server {
 
   /// Enqueue a job at the simulation's current time.
   void submit(const Job& job);
+
+  /// Typed-event entry point: fires when the in-service job completes.
+  void on_sim_event(Simulation& sim, EventKind kind) override;
+
+  /// Pre-size the job queue and completion arena for \p expected_jobs so a
+  /// run of that length allocates nothing per event.
+  void reserve(std::size_t expected_jobs);
+
+  /// Forget all queued jobs, completions and accounting, keeping arena
+  /// capacity.  The RNG stream is NOT rewound; pass a fresh stream per
+  /// replication instead.
+  void reset();
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] double execution_value() const { return execution_value_; }
@@ -97,6 +116,11 @@ class Server {
   std::size_t head_ = 0;
   bool busy_ = false;
   double busy_time_ = 0.0;
+  // The one job in service: FCFS single-server, so members (not a per-event
+  // closure capture) are enough to describe the pending completion.
+  Job in_service_{};
+  SimTime service_start_ = 0.0;
+  double service_duration_ = 0.0;
   std::vector<Completion> completions_;
 };
 

@@ -56,21 +56,29 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body) {
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  const std::size_t max_chunks = pool.thread_count() * 4;
-  const std::size_t chunks = std::min(n, std::max<std::size_t>(1, max_chunks));
-  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  if (grain == 0) {
+    // Automatic grain: at most 4 chunks per worker for load balancing.
+    const std::size_t max_chunks = std::max<std::size_t>(1, thread_count() * 4);
+    grain = (n + max_chunks - 1) / max_chunks;
+  }
+  if (grain >= n) {  // single chunk: run inline, no pool round-trip
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
 
+  const std::size_t chunks = (n + grain - 1) / grain;
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * chunk_size;
+    const std::size_t lo = begin + c * grain;
     if (lo >= end) break;
-    const std::size_t hi = std::min(end, lo + chunk_size);
-    futures.push_back(pool.submit([lo, hi, &body] {
+    const std::size_t hi = std::min(end, lo + grain);
+    futures.push_back(submit([lo, hi, &body] {
       for (std::size_t i = lo; i < hi; ++i) body(i);
     }));
   }
@@ -85,9 +93,14 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  pool.parallel_for(begin, end, body);
+}
+
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body) {
-  parallel_for(ThreadPool::global(), begin, end, body);
+  ThreadPool::global().parallel_for(begin, end, body);
 }
 
 }  // namespace lbmv::util

@@ -36,6 +36,23 @@ class ThreadPool {
   /// Exceptions thrown by the task propagate through the future.
   std::future<void> submit(std::function<void()> task);
 
+  /// Run body(i) for every i in [begin, end) across the pool, blocking until
+  /// all iterations finish.
+  ///
+  /// \p grain controls the chunking: each submitted task covers at least
+  /// \p grain consecutive indices.  grain == 0 picks automatically —
+  /// ceil(n / (4 * thread_count)) — which favours load balancing for
+  /// fine-grained bodies.  Pass a larger grain when each iteration is tiny
+  /// (so per-task overhead does not dominate) or when iterations share
+  /// per-chunk state worth amortising.
+  ///
+  /// The first exception thrown by any iteration is rethrown on the calling
+  /// thread (remaining chunks still run to completion).  body must be safe
+  /// to call concurrently for distinct i.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 0);
+
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 
   /// A process-wide default pool, created on first use.
@@ -51,11 +68,7 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Run body(i) for every i in [begin, end) across the pool, blocking until
-/// all iterations finish.  The range is split into at most 4x thread_count
-/// contiguous chunks.  The first exception thrown by any iteration is
-/// rethrown on the calling thread (remaining chunks still run to
-/// completion).  body must be safe to call concurrently for distinct i.
+/// Free-function convenience: pool.parallel_for with automatic grain.
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body);
 

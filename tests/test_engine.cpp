@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "lbmv/sim/engine.h"
@@ -95,6 +96,140 @@ TEST(Engine, ClockIsMonotoneAcrossManyRandomishEvents) {
   sim.run();
   EXPECT_TRUE(monotone);
   EXPECT_EQ(sim.processed(), 1000u);
+}
+
+// ---- Typed events ---------------------------------------------------------
+
+/// Sink that records every (kind, time) it receives and can re-schedule.
+struct RecordingSink final : lbmv::sim::EventSink {
+  std::vector<std::pair<lbmv::sim::EventKind, double>> fired;
+  int reschedule_at_same_time = 0;
+
+  void on_sim_event(Simulation& sim, lbmv::sim::EventKind kind) override {
+    fired.emplace_back(kind, sim.now());
+    if (reschedule_at_same_time > 0) {
+      --reschedule_at_same_time;
+      sim.schedule_event(sim.now(), lbmv::sim::EventKind::kEpochBoundary,
+                         this);
+    }
+  }
+};
+
+TEST(Engine, TypedEventsDispatchInTimeOrderWithKinds) {
+  Simulation sim;
+  RecordingSink sink;
+  sim.schedule_event(2.0, lbmv::sim::EventKind::kServiceCompletion, &sink);
+  sim.schedule_event(1.0, lbmv::sim::EventKind::kArrival, &sink);
+  sim.schedule_event(3.0, lbmv::sim::EventKind::kHorizon, &sink);
+  sim.run();
+  ASSERT_EQ(sink.fired.size(), 3u);
+  EXPECT_EQ(sink.fired[0].first, lbmv::sim::EventKind::kArrival);
+  EXPECT_EQ(sink.fired[1].first, lbmv::sim::EventKind::kServiceCompletion);
+  EXPECT_EQ(sink.fired[2].first, lbmv::sim::EventKind::kHorizon);
+  EXPECT_DOUBLE_EQ(sink.fired[2].second, 3.0);
+}
+
+TEST(Engine, TypedAndClosureEventsInterleaveInSchedulingOrder) {
+  Simulation sim;
+  RecordingSink sink;
+  std::vector<int> order;
+  sim.schedule(5.0, [&] { order.push_back(0); });
+  sim.schedule_event(5.0, lbmv::sim::EventKind::kArrival, &sink);
+  sim.schedule(5.0, [&] { order.push_back(2); });
+  sim.run();
+  // The typed event fired between the two closures (FIFO at equal time).
+  ASSERT_EQ(order, (std::vector<int>{0, 2}));
+  ASSERT_EQ(sink.fired.size(), 1u);
+  EXPECT_EQ(sim.processed(), 3u);
+}
+
+TEST(Engine, TypedEventValidation) {
+  Simulation sim;
+  RecordingSink sink;
+  EXPECT_THROW(
+      sim.schedule_event(1.0, lbmv::sim::EventKind::kArrival, nullptr),
+      lbmv::util::PreconditionError);
+  EXPECT_THROW(sim.schedule_event(1.0, lbmv::sim::EventKind::kClosure, &sink),
+               lbmv::util::PreconditionError);
+  EXPECT_THROW(
+      sim.schedule_event_after(-1.0, lbmv::sim::EventKind::kArrival, &sink),
+      lbmv::util::PreconditionError);
+}
+
+TEST(Engine, ResetForgetsEventsAndClock) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule(5.0, [&] { ++fired; });
+  sim.run_until(1.0);
+  sim.reset();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  sim.schedule(0.5, [&] { ++fired; });  // before the old event's time: fine
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+// ---- run_until edge semantics (regression) --------------------------------
+
+TEST(Engine, RunUntilProcessesWorkRescheduledAtExactlyT) {
+  // A handler running at exactly t schedules more work at exactly t: the
+  // new work must run within the same run_until call (inclusive semantics),
+  // in FIFO order, and the call must terminate once the chain stops.
+  Simulation sim;
+  std::vector<int> order;
+  std::function<void(int)> chain = [&](int depth) {
+    order.push_back(depth);
+    if (depth < 4) {
+      sim.schedule(sim.now(), [&, depth] { chain(depth + 1); });
+    }
+  };
+  sim.schedule(2.0, [&] { chain(0); });
+  sim.schedule(2.0, [&] { order.push_back(100); });  // pre-scheduled tie
+  sim.run_until(2.0);
+  // Chain link 1..4 were scheduled *after* the pre-existing tie, so the
+  // pre-existing event fires before them (seq FIFO), then the chain drains.
+  EXPECT_EQ(order, (std::vector<int>{0, 100, 1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.processed(), 6u);
+}
+
+TEST(Engine, RunUntilTypedRescheduleAtSameTimeTerminates) {
+  Simulation sim;
+  RecordingSink sink;
+  sink.reschedule_at_same_time = 3;  // bounded same-time chain
+  sim.schedule_event(1.0, lbmv::sim::EventKind::kEpochBoundary, &sink);
+  sim.run_until(1.0);
+  EXPECT_EQ(sink.fired.size(), 4u);  // original + 3 re-schedules
+  for (const auto& [kind, time] : sink.fired) EXPECT_DOUBLE_EQ(time, 1.0);
+}
+
+TEST(Engine, RunUntilLeavesStrictlyLaterWorkPending) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] {
+    ++fired;
+    sim.schedule(std::nextafter(1.0, 2.0), [&] { ++fired; });
+  });
+  sim.run_until(1.0);
+  EXPECT_EQ(fired, 1);  // the strictly-later event stays queued
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, ClosureSlotsAreRecycled) {
+  // The pooled slab must reuse slots: a long self-rescheduling chain keeps
+  // at most a handful of closures alive no matter how many events fire.
+  Simulation sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10000) sim.schedule_after(1.0, tick);
+  };
+  sim.schedule(0.0, tick);
+  sim.run();
+  EXPECT_EQ(count, 10000);
+  EXPECT_EQ(sim.processed(), 10000u);
 }
 
 }  // namespace

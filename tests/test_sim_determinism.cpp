@@ -1,0 +1,168 @@
+// Differential determinism: the typed event loop (engine.h) must reproduce
+// the seed `std::function` loop (legacy_engine.h) bit-for-bit — identical
+// completion traces (job ids, arrival/start/finish times) for fixed seeds
+// across every ServiceModel.  This is the contract that made the hot-path
+// rewrite safe: same RNG streams, same (time, seq) event ordering, so every
+// downstream estimate, payment and metric is unchanged.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lbmv/sim/engine.h"
+#include "lbmv/sim/job_source.h"
+#include "lbmv/sim/legacy_engine.h"
+#include "lbmv/sim/server.h"
+#include "lbmv/util/rng.h"
+
+namespace {
+
+using namespace lbmv::sim;
+using lbmv::util::Rng;
+
+struct Workload {
+  std::vector<double> execution_values{0.02, 0.05, 0.11, 0.4};
+  std::vector<double> rates{2.0, 1.5, 1.0, 0.5};
+  double horizon = 500.0;
+  std::uint64_t seed = 1234;
+};
+
+/// Run the typed stack; returns per-server completion traces.
+std::vector<std::vector<Completion>> run_typed(const Workload& w,
+                                               ServiceModel model) {
+  Rng rng(w.seed);
+  Simulation sim;
+  std::vector<std::unique_ptr<Server>> servers;
+  std::vector<Server*> ptrs;
+  for (std::size_t i = 0; i < w.execution_values.size(); ++i) {
+    servers.push_back(std::make_unique<Server>(
+        sim, "C" + std::to_string(i + 1), w.execution_values[i], model,
+        rng.split(i + 1)));
+    ptrs.push_back(servers.back().get());
+  }
+  JobSource source(sim, ptrs, w.rates, w.horizon, rng.split(0));
+  source.start();
+  sim.run();
+  std::vector<std::vector<Completion>> traces;
+  for (const Server* s : ptrs) traces.push_back(s->completions());
+  return traces;
+}
+
+/// Run the preserved seed stack on the identical workload and RNG streams.
+std::vector<std::vector<Completion>> run_legacy(const Workload& w,
+                                                ServiceModel model) {
+  Rng rng(w.seed);
+  legacy::Simulation sim;
+  std::vector<std::unique_ptr<legacy::Server>> servers;
+  std::vector<legacy::Server*> ptrs;
+  for (std::size_t i = 0; i < w.execution_values.size(); ++i) {
+    servers.push_back(std::make_unique<legacy::Server>(
+        sim, "C" + std::to_string(i + 1), w.execution_values[i], model,
+        rng.split(i + 1)));
+    ptrs.push_back(servers.back().get());
+  }
+  legacy::JobSource source(sim, ptrs, w.rates, w.horizon, rng.split(0));
+  source.start();
+  sim.run();
+  std::vector<std::vector<Completion>> traces;
+  for (const legacy::Server* s : ptrs) traces.push_back(s->completions());
+  return traces;
+}
+
+void expect_identical(const std::vector<std::vector<Completion>>& typed,
+                      const std::vector<std::vector<Completion>>& legacy_t) {
+  ASSERT_EQ(typed.size(), legacy_t.size());
+  for (std::size_t s = 0; s < typed.size(); ++s) {
+    ASSERT_EQ(typed[s].size(), legacy_t[s].size()) << "server " << s;
+    ASSERT_FALSE(typed[s].empty()) << "workload produced no jobs; weak test";
+    for (std::size_t j = 0; j < typed[s].size(); ++j) {
+      const Completion& a = typed[s][j];
+      const Completion& b = legacy_t[s][j];
+      // Bit-for-bit: exact double equality, not approximate.
+      EXPECT_EQ(a.job_id, b.job_id) << "server " << s << " job " << j;
+      EXPECT_EQ(a.arrival, b.arrival) << "server " << s << " job " << j;
+      EXPECT_EQ(a.start, b.start) << "server " << s << " job " << j;
+      EXPECT_EQ(a.finish, b.finish) << "server " << s << " job " << j;
+    }
+  }
+}
+
+TEST(SimDeterminism, TypedLoopMatchesSeedLoopExponential) {
+  const Workload w;
+  expect_identical(run_typed(w, ServiceModel::kExponential),
+                   run_legacy(w, ServiceModel::kExponential));
+}
+
+TEST(SimDeterminism, TypedLoopMatchesSeedLoopDeterministic) {
+  const Workload w;
+  expect_identical(run_typed(w, ServiceModel::kDeterministic),
+                   run_legacy(w, ServiceModel::kDeterministic));
+}
+
+TEST(SimDeterminism, TypedLoopMatchesSeedLoopErlang2) {
+  const Workload w;
+  expect_identical(run_typed(w, ServiceModel::kErlang2),
+                   run_legacy(w, ServiceModel::kErlang2));
+}
+
+TEST(SimDeterminism, HoldsAcrossSeedsAndLoads) {
+  for (const std::uint64_t seed : {7ull, 42ull, 90210ull}) {
+    for (const double load_scale : {0.5, 2.0}) {
+      Workload w;
+      w.seed = seed;
+      for (double& r : w.rates) r *= load_scale;
+      w.horizon = 200.0;
+      expect_identical(run_typed(w, ServiceModel::kExponential),
+                       run_legacy(w, ServiceModel::kExponential));
+    }
+  }
+}
+
+TEST(SimDeterminism, TypedLoopIsSelfDeterministic) {
+  // Two identical typed runs agree exactly (no hidden global state).
+  const Workload w;
+  expect_identical(run_typed(w, ServiceModel::kErlang2),
+                   run_typed(w, ServiceModel::kErlang2));
+}
+
+TEST(SimDeterminism, ProcessedEventCountsMatch) {
+  // Event-for-event equivalence, not just trace equivalence: both loops
+  // schedule one arrival event per job plus one completion event per job.
+  const Workload w;
+  Rng rng(w.seed);
+  Simulation typed_sim;
+  legacy::Simulation legacy_sim;
+  {
+    std::vector<std::unique_ptr<Server>> servers;
+    std::vector<Server*> ptrs;
+    for (std::size_t i = 0; i < w.execution_values.size(); ++i) {
+      servers.push_back(std::make_unique<Server>(
+          typed_sim, "C", w.execution_values[i], ServiceModel::kExponential,
+          rng.split(i + 1)));
+      ptrs.push_back(servers.back().get());
+    }
+    JobSource source(typed_sim, ptrs, w.rates, w.horizon, rng.split(0));
+    source.start();
+    typed_sim.run();
+  }
+  {
+    std::vector<std::unique_ptr<legacy::Server>> servers;
+    std::vector<legacy::Server*> ptrs;
+    for (std::size_t i = 0; i < w.execution_values.size(); ++i) {
+      servers.push_back(std::make_unique<legacy::Server>(
+          legacy_sim, "C", w.execution_values[i], ServiceModel::kExponential,
+          rng.split(i + 1)));
+      ptrs.push_back(servers.back().get());
+    }
+    legacy::JobSource source(legacy_sim, ptrs, w.rates, w.horizon,
+                             rng.split(0));
+    source.start();
+    legacy_sim.run();
+  }
+  EXPECT_EQ(typed_sim.processed(), legacy_sim.processed());
+  EXPECT_EQ(typed_sim.now(), legacy_sim.now());
+}
+
+}  // namespace

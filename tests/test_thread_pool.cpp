@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "lbmv/util/thread_pool.h"
@@ -96,6 +97,49 @@ TEST(ParallelFor, GlobalPoolOverloadWorks) {
   std::atomic<std::size_t> sum{0};
   parallel_for(0, 1000, [&](std::size_t i) { sum += i; });
   EXPECT_EQ(sum.load(), 999u * 1000u / 2u);
+}
+
+TEST(ParallelFor, MemberGrainZeroAutoChunks) {
+  ThreadPool pool(4);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(0, n, [&](std::size_t i) { ++hits[i]; }, /*grain=*/0);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, ExplicitGrainCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 1003;  // not a multiple of any grain below
+  for (const std::size_t grain : {1ul, 7ul, 64ul, 5000ul}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(0, n, [&](std::size_t i) { ++hits[i]; }, grain);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "grain " << grain << " index " << i;
+    }
+  }
+}
+
+TEST(ParallelFor, GrainAtLeastRangeRunsInline) {
+  // One chunk means no task handoff: the body sees the calling thread.
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.parallel_for(0, seen.size(),
+                    [&](std::size_t i) { seen[i] = std::this_thread::get_id(); },
+                    /*grain=*/seen.size());
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelFor, CoarseGrainRethrowsBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::size_t i) {
+                                   if (i == 99) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 },
+                                 /*grain=*/8),
+               std::runtime_error);
 }
 
 TEST(ParallelFor, ParallelSumMatchesSequential) {
