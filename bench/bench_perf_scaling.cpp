@@ -23,6 +23,7 @@
 #include "lbmv/game/wardrop.h"
 #include "lbmv/model/bids.h"
 #include "lbmv/model/system_config.h"
+#include "lbmv/obs/obs.h"
 #include "lbmv/sim/engine.h"
 #include "lbmv/sim/job_source.h"
 #include "lbmv/sim/legacy_engine.h"
@@ -268,6 +269,51 @@ void BM_EventLoopTyped(benchmark::State& state) {
                           static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_EventLoopTyped)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_EventLoopTypedObsOn(benchmark::State& state) {
+  // BM_EventLoopTyped with metric recording enabled: the delta against the
+  // plain run is the full per-event probe cost (counter + kind counter +
+  // queue-depth gauge per dispatched event).  With recording off the probes
+  // are a single relaxed load, which is what the obs_overhead section of
+  // BENCH_perf.json demonstrates against the same baseline.
+  struct Ticker final : lbmv::sim::EventSink {
+    double increment = 1.0;
+    std::size_t* budget = nullptr;
+    void on_sim_event(lbmv::sim::Simulation& sim,
+                      lbmv::sim::EventKind) override {
+      if (*budget > 0) {
+        --*budget;
+        sim.schedule_event_after(increment,
+                                 lbmv::sim::EventKind::kServiceCompletion,
+                                 this);
+      }
+    }
+  };
+  const auto ring = static_cast<std::size_t>(state.range(0));
+  const std::size_t events = ring * 8;
+  lbmv::sim::Simulation sim;
+  sim.reserve(ring + 8);
+  std::vector<Ticker> sinks(ring);
+  std::size_t budget = 0;
+  for (std::size_t i = 0; i < ring; ++i) {
+    sinks[i].increment = ring_increment(i);
+    sinks[i].budget = &budget;
+  }
+  lbmv::obs::set_enabled(true);
+  for (auto _ : state) {
+    sim.reset();
+    budget = events;
+    for (auto& s : sinks) {
+      sim.schedule_event_after(s.increment,
+                               lbmv::sim::EventKind::kServiceCompletion, &s);
+    }
+    sim.run();
+  }
+  lbmv::obs::set_enabled(false);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EventLoopTypedObsOn)->Arg(64)->Arg(4096)->Arg(65536);
 
 void BM_EventLoopFunction(benchmark::State& state) {
   // Captures mirror the seed completion closure: object pointer + Job +

@@ -10,20 +10,54 @@
 // Each point is a parallel Monte-Carlo estimate: independent replications
 // fan out across the thread pool (distinct RNG streams split from one root
 // seed), and we report the mean measured latency with a 95% half-width.
+//
+// With --obs-trace=FILE and/or --obs-snapshot=FILE the run also records
+// observability data: recording is switched on, warmup is set to zero so
+// the per-server completion counters are exactly comparable with the
+// SystemMetrics job totals (the cross-check is asserted below), and the
+// Chrome-trace JSON / metrics snapshot are written to the given files.
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "lbmv/core/comp_bonus.h"
 #include "lbmv/model/bids.h"
+#include "lbmv/obs/metrics.h"
+#include "lbmv/obs/obs.h"
+#include "lbmv/obs/trace.h"
 #include "lbmv/sim/protocol.h"
 #include "lbmv/sim/replication.h"
 #include "lbmv/util/ascii_chart.h"
 #include "lbmv/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using lbmv::util::Table;
   using namespace lbmv;
+
+  std::string trace_path;
+  std::string snapshot_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--obs-trace=", 12) == 0) {
+      trace_path = arg + 12;
+    } else if (std::strncmp(arg, "--obs-snapshot=", 15) == 0) {
+      snapshot_path = arg + 15;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--obs-trace=FILE] [--obs-snapshot=FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const bool observe = !trace_path.empty() || !snapshot_path.empty();
+  if (observe) {
+    obs::Registry::global().reset();
+    obs::TraceRecorder::global().clear();
+    obs::set_enabled(true);
+  }
 
   // Light-load scaled version of a 4-computer heterogeneous system.
   const std::vector<double> types{0.01, 0.01, 0.02, 0.04};
@@ -38,13 +72,23 @@ int main() {
   util::Series analytic_series{"analytic", {}, {}};
   util::Series measured_series{"measured", {}, {}};
 
+  // Expected per-server completion totals accumulated from SystemMetrics
+  // across every rate and replication; the obs counters must match exactly.
+  std::vector<std::size_t> expected_completions(types.size(), 0);
+
   for (double rate : {0.5, 1.0, 2.0, 3.0, 4.0, 5.0}) {
     const model::SystemConfig config(types, rate);
     sim::ProtocolOptions options;
     options.horizon = 10000.0;
+    if (observe) options.warmup_fraction = 0.0;
     const sim::VerifiedProtocol protocol(mechanism, options);
     const sim::ReplicatedRoundReport merged = protocol.run_replicated(
         config, model::BidProfile::truthful(config), replication);
+    for (const auto& round : merged.rounds) {
+      for (std::size_t i = 0; i < round.metrics.servers.size(); ++i) {
+        expected_completions[i] += round.metrics.servers[i].jobs_completed;
+      }
+    }
     const auto& first = merged.rounds.front();
     const double analytic = first.oracle_outcome.actual_latency;
     const double measured = merged.measured_latency.mean();
@@ -75,5 +119,39 @@ int main() {
       "\nAt low utilisation the series coincide (the paper's modelling\n"
       "assumption); the measured curve bends above the quadratic model as\n"
       "rho grows, exactly the M/G/1 1/(1-rho) correction.\n");
+
+  if (observe) {
+    obs::set_enabled(false);
+    const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+    bool mismatch = false;
+    std::printf("\nobs cross-check (counter vs SystemMetrics):\n");
+    for (std::size_t i = 0; i < expected_completions.size(); ++i) {
+      const std::string family = obs::labeled(
+          "lbmv_server_completions_total", "server",
+          "C" + std::to_string(i + 1));
+      const auto it = snap.counters.find(family);
+      const std::uint64_t counted = it == snap.counters.end() ? 0 : it->second;
+      const bool ok = counted == expected_completions[i];
+      mismatch = mismatch || !ok;
+      std::printf("  %s %llu %s %zu\n", family.c_str(),
+                  static_cast<unsigned long long>(counted),
+                  ok ? "==" : "!=", expected_completions[i]);
+    }
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      out << obs::TraceRecorder::global().to_chrome_json();
+      std::printf("wrote Chrome trace (%zu spans, %llu dropped) to %s\n",
+                  obs::TraceRecorder::global().events().size(),
+                  static_cast<unsigned long long>(
+                      obs::TraceRecorder::global().dropped()),
+                  trace_path.c_str());
+    }
+    if (!snapshot_path.empty()) {
+      std::ofstream out(snapshot_path);
+      out << snap.to_json();
+      std::printf("wrote metrics snapshot to %s\n", snapshot_path.c_str());
+    }
+    if (obs::kCompiledIn && mismatch) return 1;
+  }
   return 0;
 }

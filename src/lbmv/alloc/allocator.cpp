@@ -1,5 +1,6 @@
 #include "lbmv/alloc/allocator.h"
 
+#include "lbmv/obs/probes.h"
 #include "lbmv/util/error.h"
 
 namespace lbmv::alloc {
@@ -22,6 +23,11 @@ std::vector<double> Allocator::leave_one_out_latencies(
     double arrival_rate) const {
   const std::size_t n = types.size();
   LBMV_REQUIRE(n >= 2, "leave-one-out requires at least two computers");
+  if (obs::enabled()) {
+    obs::MechProbes& probes = obs::MechProbes::get();
+    probes.loo_batches.inc();
+    probes.loo_batch_size.record(static_cast<double>(n));
+  }
   // One scratch buffer serves every subsystem: it starts as the profile
   // with agent 0 removed, and after solving subsystem i the single write
   // scratch[i] = types[i] turns it into the profile with agent i+1 removed.

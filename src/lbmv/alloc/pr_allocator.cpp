@@ -1,5 +1,6 @@
 #include "lbmv/alloc/pr_allocator.h"
 
+#include "lbmv/obs/probes.h"
 #include "lbmv/util/error.h"
 
 namespace lbmv::alloc {
@@ -39,6 +40,11 @@ std::vector<double> pr_leave_one_out_latencies(std::span<const double> types,
   LBMV_REQUIRE(types.size() >= 2,
                "leave-one-out requires at least two computers");
   LBMV_REQUIRE(arrival_rate > 0.0, "arrival rate must be positive");
+  if (obs::enabled()) {
+    obs::MechProbes& probes = obs::MechProbes::get();
+    probes.loo_batches.inc();
+    probes.loo_batch_size.record(static_cast<double>(types.size()));
+  }
   const double s = inverse_sum(types);
   const double r2 = arrival_rate * arrival_rate;
   std::vector<double> out(types.size());

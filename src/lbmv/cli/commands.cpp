@@ -1,8 +1,12 @@
 #include "lbmv/cli/commands.h"
 
+#include <atomic>
+#include <chrono>
+#include <exception>
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "lbmv/analysis/paper_experiments.h"
 #include "lbmv/analysis/report.h"
@@ -14,8 +18,12 @@
 #include "lbmv/core/vcg.h"
 #include "lbmv/dist/protocols.h"
 #include "lbmv/game/wardrop.h"
+#include "lbmv/obs/metrics.h"
+#include "lbmv/obs/obs.h"
+#include "lbmv/obs/trace.h"
 #include "lbmv/sim/epochs.h"
 #include "lbmv/sim/protocol.h"
+#include "lbmv/util/ascii_chart.h"
 #include "lbmv/strategy/best_response.h"
 #include "lbmv/strategy/learning.h"
 #include "lbmv/util/cli.h"
@@ -517,6 +525,171 @@ int cmd_epochs(const std::vector<std::string>& rest, std::ostream& out) {
   return 0;
 }
 
+/// `family{key="value"}` -> `value`; plain family names pass through.
+std::string metric_label_value(const std::string& name) {
+  const auto open = name.find('"');
+  const auto close = name.rfind('"');
+  if (open == std::string::npos || close <= open) return name;
+  return name.substr(open + 1, close - open - 1);
+}
+
+void render_obs_dashboard(const obs::MetricsSnapshot& snap,
+                          std::ostream& out) {
+  if (snap.counters.empty() && snap.gauges.empty() &&
+      snap.histograms.empty()) {
+    out << "(no metrics recorded"
+        << (obs::kCompiledIn ? ")" : "; built with LBMV_OBS=0)") << "\n";
+    return;
+  }
+  Table counters({"Counter", "Count"});
+  for (const auto& [name, value] : snap.counters) {
+    counters.add_row({name, std::to_string(value)});
+  }
+  Table gauges({"Gauge", "Value"});
+  for (const auto& [name, value] : snap.gauges) {
+    gauges.add_row({name, Table::num(value, 0)});
+  }
+  Table hists({"Histogram", "Count", "Mean", "p50", "p95", "p99", "Max"});
+  for (const auto& [name, h] : snap.histograms) {
+    hists.add_row({name, std::to_string(h.count), Table::num(h.mean(), 4),
+                   Table::num(h.quantile(0.50), 4),
+                   Table::num(h.quantile(0.95), 4),
+                   Table::num(h.quantile(0.99), 4), Table::num(h.max, 4)});
+  }
+  out << counters.to_markdown() << '\n'
+      << gauges.to_markdown() << '\n'
+      << hists.to_markdown();
+
+  std::vector<util::Bar> completion_bars;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("lbmv_server_completions_total{", 0) == 0) {
+      completion_bars.push_back(
+          {metric_label_value(name), static_cast<double>(value)});
+    }
+  }
+  if (!completion_bars.empty()) {
+    out << '\n'
+        << util::bar_chart("jobs completed per server", completion_bars);
+  }
+}
+
+int cmd_obs(const std::vector<std::string>& rest, std::ostream& out) {
+  ArgParser args("lbmv obs",
+                 "metrics dashboard over a replicated protocol run");
+  args.add_option("types", "true values (light load!), comma separated",
+                  "0.01,0.01,0.02");
+  args.add_option("rate", "arrival rate (jobs/s)", "3");
+  args.add_option("horizon", "simulated seconds per replication", "2000");
+  args.add_option("replications", "independent replications", "8");
+  args.add_option("seed", "rng seed", "42");
+  args.add_option("deviate", "agent:bid_mult[:exec_mult]", "");
+  args.add_option("snapshot", "dashboard | json | prom", "dashboard");
+  args.add_option("trace", "write Chrome trace JSON to this file", "");
+  args.add_option("interval-ms", "refresh period for --watch", "250");
+  args.add_flag("watch", "redraw the dashboard while the run progresses");
+  args.parse(rest);
+  if (args.flag("help")) {
+    out << args.help();
+    return 0;
+  }
+  const auto config = config_from_args(args);
+  const std::string mode = args.option("snapshot");
+  if (mode != "dashboard" && mode != "json" && mode != "prom") {
+    throw UsageError("--snapshot must be dashboard | json | prom");
+  }
+  const std::string trace_path = args.option("trace");
+  const auto replications =
+      static_cast<std::size_t>(args.option_as_long("replications"));
+  if (replications == 0) throw UsageError("--replications must be positive");
+
+  // Fresh recording session: drop anything earlier commands recorded, then
+  // enable probes for the run (servers register their labelled families at
+  // construction, so this must precede the workload).
+  obs::Registry::global().reset();
+  obs::TraceRecorder::global().clear();
+  obs::set_enabled(true);
+
+  const core::CompBonusMechanism mechanism;
+  sim::ProtocolOptions options;
+  options.horizon = args.option_as_double("horizon");
+  options.seed = static_cast<std::uint64_t>(args.option_as_long("seed"));
+  // No warmup: every completion the servers count is also counted by
+  // collect_metrics, so the counters cross-check exactly below.
+  options.warmup_fraction = 0.0;
+  const sim::VerifiedProtocol protocol(mechanism, options);
+  sim::ReplicationOptions replication;
+  replication.replications = replications;
+  replication.root_seed = options.seed;
+  const auto profile =
+      profile_from_deviations(config, args.option("deviate"));
+
+  sim::ReplicatedRoundReport merged;
+  std::exception_ptr run_error;
+  const auto run = [&] {
+    try {
+      merged = protocol.run_replicated(config, profile, replication);
+    } catch (...) {
+      run_error = std::current_exception();
+    }
+  };
+  if (args.flag("watch") && mode == "dashboard") {
+    const auto interval =
+        std::chrono::milliseconds(args.option_as_long("interval-ms"));
+    std::atomic<bool> done{false};
+    std::thread runner([&] {
+      run();
+      done.store(true);
+    });
+    while (!done.load()) {
+      std::this_thread::sleep_for(interval);
+      out << "\x1b[2J\x1b[H";  // clear screen, home cursor
+      render_obs_dashboard(obs::Registry::global().snapshot(), out);
+    }
+    runner.join();
+  } else {
+    run();
+  }
+  obs::set_enabled(false);
+  if (run_error) std::rethrow_exception(run_error);
+
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  if (!trace_path.empty()) {
+    std::ofstream trace_out(trace_path);
+    if (!trace_out) throw UsageError("cannot write '" + trace_path + "'");
+    trace_out << obs::TraceRecorder::global().to_chrome_json() << '\n';
+  }
+  if (mode == "json") {
+    out << snap.to_json() << '\n';
+    return 0;
+  }
+  if (mode == "prom") {
+    out << snap.to_prometheus();
+    return 0;
+  }
+
+  render_obs_dashboard(snap, out);
+  std::uint64_t counted = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("lbmv_server_completions_total{", 0) == 0) {
+      counted += value;
+    }
+  }
+  std::size_t measured = 0;
+  for (const auto& round : merged.rounds) {
+    measured += round.metrics.total_jobs();
+  }
+  const auto spans = obs::TraceRecorder::global().events().size();
+  out << '\n'
+      << "cross-check: completion counters " << counted
+      << (counted == measured ? " == " : " != ") << measured
+      << " SystemMetrics total jobs\n"
+      << "trace: " << spans << " spans retained, "
+      << obs::TraceRecorder::global().dropped() << " dropped";
+  if (!trace_path.empty()) out << " -> " << trace_path;
+  out << '\n';
+  return obs::kCompiledIn && counted != measured ? 1 : 0;
+}
+
 constexpr const char* kTopHelp =
     "lbmv — load balancing mechanisms with verification\n"
     "\n"
@@ -533,6 +706,7 @@ constexpr const char* kTopHelp =
     "  poa         price of anarchy of selfish routing\n"
     "  coalition   joint-deviation audit for agent pairs\n"
     "  epochs      multi-epoch operation under drifting speeds\n"
+    "  obs         metrics dashboard over a replicated protocol run\n"
     "\n"
     "run `lbmv <command> --help` for command options.\n";
 
@@ -559,6 +733,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (command == "poa") return cmd_poa(rest, out);
     if (command == "coalition") return cmd_coalition(rest, out);
     if (command == "epochs") return cmd_epochs(rest, out);
+    if (command == "obs") return cmd_obs(rest, out);
     err << "unknown command '" << command << "'\n\n" << kTopHelp;
     return 2;
   } catch (const UsageError& e) {

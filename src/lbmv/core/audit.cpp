@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "lbmv/obs/probes.h"
 #include "lbmv/util/error.h"
 #include "lbmv/util/thread_pool.h"
 
@@ -61,6 +62,9 @@ AuditReport TruthfulnessAuditor::audit_agent(const model::SystemConfig& config,
 
   const std::size_t nb = options.bid_multipliers.size();
   const std::size_t ne = options.exec_multipliers.size();
+  // The truthful point plus the full deviation grid, counted up front.
+  obs::MechProbes::get().audit_evaluations.inc(
+      static_cast<std::uint64_t>(nb * ne) + 1);
   std::vector<Deviation> grid(nb * ne);
   auto body = [&](std::size_t k) {
     const double bm = options.bid_multipliers[k / ne];

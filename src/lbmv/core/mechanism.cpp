@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "lbmv/alloc/pr_allocator.h"
+#include "lbmv/obs/probes.h"
 #include "lbmv/util/error.h"
 
 namespace lbmv::core {
@@ -69,6 +70,14 @@ MechanismOutcome Mechanism::run(const model::LatencyFamily& family,
 
   for (auto& agent : outcome.agents) {
     agent.utility = agent.payment + agent.valuation;
+  }
+  if (obs::enabled()) {
+    obs::MechProbes& probes = obs::MechProbes::get();
+    probes.rounds.inc();
+    for (const auto& agent : outcome.agents) {
+      probes.round_payment.record(agent.payment);
+      probes.round_bonus.record(agent.bonus);
+    }
   }
   return outcome;
 }

@@ -1,0 +1,16 @@
+#include "lbmv/obs/obs.h"
+
+namespace lbmv::obs {
+
+namespace detail {
+// Recording starts off: an uninstrumented-looking process until someone
+// opts in.  The flag exists even in LBMV_OBS=0 builds so set_enabled stays
+// link-compatible; enabled() just never reads it there.
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+}  // namespace lbmv::obs

@@ -1,0 +1,66 @@
+#include "lbmv/obs/probes.h"
+
+namespace lbmv::obs {
+
+SimProbes& SimProbes::get() {
+  static SimProbes probes = [] {
+    Registry& r = Registry::global();
+    SimProbes p;
+    p.events_total = r.counter("lbmv_sim_events_total");
+    static constexpr const char* kKinds[5] = {
+        "closure", "arrival", "service_completion", "epoch_boundary",
+        "horizon"};
+    for (int k = 0; k < 5; ++k) {
+      p.events_by_kind[k] =
+          r.counter(labeled("lbmv_sim_events_kind_total", "kind", kKinds[k]));
+    }
+    p.window_refills = r.counter("lbmv_sim_window_refills_total");
+    p.source_jobs = r.counter("lbmv_source_jobs_total");
+    p.queue_depth = r.gauge("lbmv_sim_queue_depth");
+    p.slab_in_use = r.gauge("lbmv_sim_closure_slab_in_use");
+    p.window_fill = r.histogram("lbmv_sim_window_fill_events");
+    return p;
+  }();
+  return probes;
+}
+
+MechProbes& MechProbes::get() {
+  static MechProbes probes = [] {
+    Registry& r = Registry::global();
+    MechProbes p;
+    p.rounds = r.counter("lbmv_mech_rounds_total");
+    p.audit_evaluations = r.counter("lbmv_mech_audit_evaluations_total");
+    p.loo_batches = r.counter("lbmv_mech_leave_one_out_batches_total");
+    p.round_payment = r.histogram("lbmv_mech_round_payment");
+    p.round_bonus = r.histogram("lbmv_mech_round_bonus");
+    p.loo_batch_size = r.histogram("lbmv_mech_leave_one_out_batch_size");
+    return p;
+  }();
+  return probes;
+}
+
+PoolProbes& PoolProbes::get() {
+  static PoolProbes probes = [] {
+    Registry& r = Registry::global();
+    PoolProbes p;
+    p.tasks = r.counter("lbmv_pool_tasks_total");
+    p.parallel_fors = r.counter("lbmv_pool_parallel_for_total");
+    p.chunk_size = r.histogram("lbmv_pool_chunk_size");
+    return p;
+  }();
+  return probes;
+}
+
+ProtocolProbes& ProtocolProbes::get() {
+  static ProtocolProbes probes = [] {
+    Registry& r = Registry::global();
+    ProtocolProbes p;
+    p.rounds = r.counter("lbmv_protocol_rounds_total");
+    p.replications = r.counter("lbmv_protocol_replications_total");
+    p.estimate_fallbacks = r.counter("lbmv_protocol_estimate_fallbacks_total");
+    return p;
+  }();
+  return probes;
+}
+
+}  // namespace lbmv::obs

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file probes.h
+/// Pre-registered metric families for the built-in instrumentation.
+///
+/// Each bundle groups the handles one subsystem records into, resolved
+/// once from `Registry::global()` behind a function-local static, so
+/// probe sites pay a handle copy at component construction and a relaxed
+/// atomic on the hot path — never a name lookup.
+///
+/// Families (all exported by `lbmv obs`, documented in DESIGN.md §9):
+///
+///   counters
+///     lbmv_sim_events_total                   events dispatched
+///     lbmv_sim_events_kind_total{kind=...}    per EventKind
+///     lbmv_sim_window_refills_total           calendar window refills
+///     lbmv_source_jobs_total                  jobs emitted by JobSource
+///     lbmv_server_arrivals_total{server=...}  per-server submissions
+///     lbmv_server_completions_total{server=...}
+///     lbmv_mech_rounds_total                  Mechanism::run calls
+///     lbmv_mech_audit_evaluations_total       audit grid points evaluated
+///     lbmv_mech_leave_one_out_batches_total   leave-one-out batch solves
+///     lbmv_pool_tasks_total                   thread-pool tasks executed
+///     lbmv_pool_parallel_for_total            parallel_for invocations
+///     lbmv_protocol_rounds_total              VerifiedProtocol rounds
+///     lbmv_protocol_replications_total        completed replications
+///     lbmv_protocol_estimate_fallbacks_total  rate-estimate fallbacks
+///
+///   gauges (additive)
+///     lbmv_sim_queue_depth        pending events in the calendar queue
+///     lbmv_sim_closure_slab_in_use  pooled closures currently live
+///
+///   histograms
+///     lbmv_sim_window_fill_events   events replayed per window refill
+///     lbmv_server_waiting_seconds{server=...}  completed-job waiting time
+///     lbmv_mech_round_payment       per-agent payment per round
+///     lbmv_mech_round_bonus         per-agent bonus per round
+///     lbmv_mech_leave_one_out_batch_size
+///     lbmv_pool_chunk_size          parallel_for grain sizes
+
+#include <cstdint>
+
+#include "lbmv/obs/metrics.h"
+
+namespace lbmv::obs {
+
+/// Simulation core (engine + job source).
+struct SimProbes {
+  Counter events_total;
+  Counter events_by_kind[5];  ///< indexed by sim::EventKind value
+  Counter window_refills;
+  Counter source_jobs;
+  Gauge queue_depth;
+  Gauge slab_in_use;
+  Histogram window_fill;
+
+  static SimProbes& get();
+};
+
+/// Mechanism, audit, and leave-one-out payment engine.
+struct MechProbes {
+  Counter rounds;
+  Counter audit_evaluations;
+  Counter loo_batches;
+  Histogram round_payment;
+  Histogram round_bonus;
+  Histogram loo_batch_size;
+
+  static MechProbes& get();
+};
+
+/// util::ThreadPool.
+struct PoolProbes {
+  Counter tasks;
+  Counter parallel_fors;
+  Histogram chunk_size;
+
+  static PoolProbes& get();
+};
+
+/// VerifiedProtocol / ReplicationRunner.
+struct ProtocolProbes {
+  Counter rounds;
+  Counter replications;
+  Counter estimate_fallbacks;
+
+  static ProtocolProbes& get();
+};
+
+}  // namespace lbmv::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "lbmv/obs/probes.h"
 #include "lbmv/util/error.h"
 
 namespace lbmv::sim {
@@ -30,6 +31,7 @@ void Simulation::push_event(SimTime time, EventKind kind,
   } else {
     overflow_.push_back(event);
   }
+  if (obs::enabled()) obs::SimProbes::get().queue_depth.add(1.0);
 }
 
 void Simulation::insert_bucket(const Event& event) {
@@ -107,6 +109,11 @@ void Simulation::refill_window() {
   }
   overflow_.resize(kept);
   LBMV_ASSERT(in_buckets_ > 0, "refill must bucket at least one event");
+  if (obs::enabled()) {
+    obs::SimProbes& probes = obs::SimProbes::get();
+    probes.window_refills.inc();
+    probes.window_fill.record(static_cast<double>(in_buckets_));
+  }
 }
 
 const Simulation::Event* Simulation::peek() {
@@ -139,6 +146,7 @@ void Simulation::schedule(SimTime time, Handler handler) {
     slot = static_cast<std::uint32_t>(closure_slots_.size());
     closure_slots_.push_back(std::move(handler));
   }
+  if (obs::enabled()) obs::SimProbes::get().slab_in_use.add(1.0);
   push_event(time, EventKind::kClosure, slot);
 }
 
@@ -169,6 +177,7 @@ void Simulation::dispatch(const Event& event) {
     Handler handler = std::move(closure_slots_[slot]);
     closure_slots_[slot] = nullptr;
     free_closure_slots_.push_back(slot);
+    if (obs::enabled()) obs::SimProbes::get().slab_in_use.add(-1.0);
     handler();
   } else {
     reinterpret_cast<EventSink*>(event.payload)
@@ -189,6 +198,12 @@ bool Simulation::step() {
   last_key_ = event.seq_kind;
   now_ = event.time;
   ++processed_;
+  if (obs::enabled()) {
+    obs::SimProbes& probes = obs::SimProbes::get();
+    probes.events_total.inc();
+    probes.events_by_kind[static_cast<std::size_t>(kind_of(event))].inc();
+    probes.queue_depth.add(-1.0);
+  }
   dispatch(event);
   return true;
 }
@@ -216,6 +231,15 @@ void Simulation::reserve(std::size_t events) {
 }
 
 void Simulation::reset() {
+  if (obs::enabled()) {
+    // Pending work vanishes with the reset; walk the occupancy gauges back
+    // down so they keep meaning "currently live" across reuse.
+    obs::SimProbes& probes = obs::SimProbes::get();
+    probes.queue_depth.add(
+        -static_cast<double>(in_buckets_ + overflow_.size()));
+    probes.slab_in_use.add(-static_cast<double>(closure_slots_.size() -
+                                                free_closure_slots_.size()));
+  }
   for (auto& bucket : buckets_) bucket.clear();
   overflow_.clear();
   closure_slots_.clear();

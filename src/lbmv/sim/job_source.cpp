@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "lbmv/obs/probes.h"
 #include "lbmv/util/error.h"
 
 namespace lbmv::sim {
@@ -56,6 +57,7 @@ std::size_t JobSource::route() {
 void JobSource::arrival() {
   if (sim_->now() > horizon_) return;  // stop generating past the horizon
   const std::size_t target = route();
+  if (obs::enabled()) obs::SimProbes::get().source_jobs.inc();
   ++counts_[target];
   servers_[target]->submit(Job{next_job_id_++, sim_->now()});
   sim_->schedule_event_after(rng_.exponential(total_rate_),

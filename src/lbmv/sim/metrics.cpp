@@ -1,5 +1,7 @@
 #include "lbmv/sim/metrics.h"
 
+#include <cmath>
+
 #include "lbmv/util/error.h"
 
 namespace lbmv::sim {
@@ -12,9 +14,14 @@ std::size_t SystemMetrics::total_jobs() const {
 
 SystemMetrics collect_metrics(std::span<Server* const> servers,
                               double duration, double warmup_fraction) {
-  LBMV_REQUIRE(duration > 0.0, "duration must be positive");
-  LBMV_REQUIRE(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
-               "warmup fraction must be in [0, 1)");
+  // A non-finite duration (or a NaN warmup fraction, which passes neither
+  // comparison below) would silently yield zero/NaN throughput for every
+  // server; reject it here instead.
+  LBMV_REQUIRE(std::isfinite(duration) && duration > 0.0,
+               "duration must be finite and positive");
+  LBMV_REQUIRE(std::isfinite(warmup_fraction) && warmup_fraction >= 0.0 &&
+                   warmup_fraction < 1.0,
+               "warmup fraction must be finite and in [0, 1)");
   SystemMetrics metrics;
   metrics.duration = duration;
   const double warmup = warmup_fraction * duration;

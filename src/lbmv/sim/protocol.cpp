@@ -1,7 +1,10 @@
 #include "lbmv/sim/protocol.h"
 
+#include <cmath>
 #include <memory>
 
+#include "lbmv/obs/probes.h"
+#include "lbmv/obs/trace.h"
 #include "lbmv/sim/job_source.h"
 #include "lbmv/sim/rate_estimator.h"
 #include "lbmv/util/error.h"
@@ -11,7 +14,8 @@ namespace lbmv::sim {
 VerifiedProtocol::VerifiedProtocol(const core::Mechanism& mechanism,
                                    ProtocolOptions options)
     : mechanism_(&mechanism), options_(options) {
-  LBMV_REQUIRE(options_.horizon > 0.0, "horizon must be positive");
+  LBMV_REQUIRE(std::isfinite(options_.horizon) && options_.horizon > 0.0,
+               "horizon must be finite and positive");
   LBMV_REQUIRE(
       options_.warmup_fraction >= 0.0 && options_.warmup_fraction < 1.0,
       "warmup fraction must be in [0, 1)");
@@ -28,6 +32,8 @@ RoundReport VerifiedProtocol::run_round(
 RoundReport VerifiedProtocol::run_round(const model::SystemConfig& config,
                                         const model::BidProfile& intents,
                                         std::uint64_t seed) const {
+  const obs::Span span("protocol_round", "protocol");
+  obs::ProtocolProbes::get().rounds.inc();
   const std::size_t n = config.size();
   intents.validate(n);
   LBMV_REQUIRE(
@@ -85,6 +91,7 @@ RoundReport VerifiedProtocol::run_round(const model::SystemConfig& config,
     report.estimate_available[i] = estimate.has_value();
     // A computer that received no jobs cannot be verified; the mechanism
     // falls back to trusting its bid for the round.
+    if (!estimate) obs::ProtocolProbes::get().estimate_fallbacks.inc();
     report.estimated_execution[i] =
         estimate ? estimate->execution_value : intents.bids[i];
     verified.executions[i] = report.estimated_execution[i];

@@ -1,5 +1,7 @@
 #include "lbmv/sim/replication.h"
 
+#include "lbmv/obs/probes.h"
+#include "lbmv/obs/trace.h"
 #include "lbmv/util/error.h"
 
 namespace lbmv::sim {
@@ -25,8 +27,10 @@ void ReplicationRunner::run(
   pool.parallel_for(
       0, options_.replications,
       [&](std::size_t rep) {
+        const obs::Span span("replication", "protocol");
         util::Rng rng = stream(rep);
         body(rep, rng);
+        obs::ProtocolProbes::get().replications.inc();
       },
       options_.grain);
 }

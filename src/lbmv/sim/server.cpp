@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "lbmv/obs/obs.h"
 #include "lbmv/util/error.h"
 
 namespace lbmv::sim {
@@ -42,9 +43,23 @@ Server::Server(Simulation& sim, std::string name, double execution_value,
       model_(model),
       mean_service_(mean_service_from_linear_coefficient(execution_value,
                                                          model)),
-      rng_(rng) {}
+      rng_(rng) {
+  // Labelled per-server families are only registered when recording is on
+  // at construction time (enable observability before building the
+  // simulation); otherwise the handles stay inert no-ops.
+  if (obs::enabled()) {
+    obs::Registry& registry = obs::Registry::global();
+    obs_arrivals_ = registry.counter(
+        obs::labeled("lbmv_server_arrivals_total", "server", name_));
+    obs_completions_ = registry.counter(
+        obs::labeled("lbmv_server_completions_total", "server", name_));
+    obs_waiting_ = registry.histogram(
+        obs::labeled("lbmv_server_waiting_seconds", "server", name_));
+  }
+}
 
 void Server::submit(const Job& job) {
+  obs_arrivals_.inc();
   queue_.push_back(Job{job.id, sim_->now()});
   if (!busy_) begin_service();
 }
@@ -86,6 +101,8 @@ void Server::on_sim_event(Simulation& sim, EventKind kind) {
   completions_.push_back(Completion{in_service_.id, in_service_.arrival,
                                     service_start_,
                                     service_start_ + service_duration_});
+  obs_completions_.inc();
+  obs_waiting_.record(completions_.back().waiting_time());
   if (head_ < queue_.size()) {
     begin_service();
   } else {

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "lbmv/obs/metrics.h"
 #include "lbmv/sim/engine.h"
 #include "lbmv/util/rng.h"
 
@@ -122,6 +123,12 @@ class Server final : public EventSink {
   SimTime service_start_ = 0.0;
   double service_duration_ = 0.0;
   std::vector<Completion> completions_;
+
+  // Per-server metric handles, resolved once at construction (inert
+  // defaults when recording is off at that point; see server.cpp).
+  obs::Counter obs_arrivals_;
+  obs::Counter obs_completions_;
+  obs::Histogram obs_waiting_;
 };
 
 }  // namespace lbmv::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "lbmv/obs/probes.h"
 #include "lbmv/util/error.h"
 
 namespace lbmv::util {
@@ -52,6 +53,7 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    if (obs::enabled()) obs::PoolProbes::get().tasks.inc();
     task();  // exceptions are captured in the packaged_task's future
   }
 }
@@ -61,12 +63,16 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               std::size_t grain) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
+  if (obs::enabled()) obs::PoolProbes::get().parallel_fors.inc();
   if (grain == 0) {
     // Automatic grain: at most 4 chunks per worker for load balancing.
     const std::size_t max_chunks = std::max<std::size_t>(1, thread_count() * 4);
     grain = (n + max_chunks - 1) / max_chunks;
   }
   if (grain >= n) {  // single chunk: run inline, no pool round-trip
+    if (obs::enabled()) {
+      obs::PoolProbes::get().chunk_size.record(static_cast<double>(n));
+    }
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
@@ -78,6 +84,9 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     const std::size_t lo = begin + c * grain;
     if (lo >= end) break;
     const std::size_t hi = std::min(end, lo + grain);
+    if (obs::enabled()) {
+      obs::PoolProbes::get().chunk_size.record(static_cast<double>(hi - lo));
+    }
     futures.push_back(submit([lo, hi, &body] {
       for (std::size_t i = lo; i < hi; ++i) body(i);
     }));

@@ -7,7 +7,9 @@
 #include <sstream>
 
 #include "lbmv/cli/commands.h"
+#include "lbmv/obs/obs.h"
 #include "lbmv/util/cli.h"
+#include "lbmv/util/json.h"
 
 namespace {
 
@@ -264,6 +266,85 @@ TEST(Cli, ProtocolCommandRuns) {
                            "--horizon", "4000"});
   EXPECT_EQ(result.code, 0) << result.err;
   EXPECT_NE(result.out.find("messages: 6"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// obs
+//
+// Snapshot-content tests require probes compiled in; under -DLBMV_OBS=OFF
+// the command still runs but records nothing, so they skip.
+
+#define SKIP_IF_OBS_COMPILED_OUT()                                      \
+  if (!lbmv::obs::kCompiledIn)                                          \
+  GTEST_SKIP() << "probes compiled out (LBMV_OBS=0)"
+
+TEST(Cli, ObsDashboardCrossChecksCompletionCounters) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  const auto result = cli({"obs", "--types", "0.01,0.02", "--rate", "2",
+                           "--horizon", "200", "--replications", "2"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("lbmv_sim_events_total"), std::string::npos);
+  EXPECT_NE(result.out.find(" == "), std::string::npos);  // cross-check held
+  EXPECT_EQ(result.out.find(" != "), std::string::npos);
+}
+
+TEST(Cli, ObsJsonSnapshotParsesWithDocumentedFamilies) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  const auto result =
+      cli({"obs", "--types", "0.01,0.02", "--rate", "2", "--horizon", "200",
+           "--replications", "2", "--snapshot", "json"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  const auto doc = lbmv::util::JsonValue::parse(result.out);
+  const auto& counters = doc.at("counters");
+  const auto& histograms = doc.at("histograms");
+  for (const char* family :
+       {"lbmv_sim_events_total", "lbmv_sim_window_refills_total",
+        "lbmv_source_jobs_total", "lbmv_mech_rounds_total",
+        "lbmv_mech_leave_one_out_batches_total",
+        "lbmv_protocol_rounds_total", "lbmv_protocol_replications_total",
+        "lbmv_pool_tasks_total"}) {
+    EXPECT_TRUE(counters.contains(family)) << family;
+  }
+  EXPECT_TRUE(doc.at("gauges").contains("lbmv_sim_queue_depth"));
+  EXPECT_TRUE(histograms.contains("lbmv_sim_window_fill_events"));
+  EXPECT_GT(counters.at("lbmv_sim_events_total").as_number(), 0.0);
+}
+
+TEST(Cli, ObsPromSnapshotHasTypeLines) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  const auto result =
+      cli({"obs", "--types", "0.01,0.02", "--rate", "2", "--horizon", "200",
+           "--replications", "2", "--snapshot", "prom"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("# TYPE lbmv_sim_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(result.out.find("# TYPE lbmv_sim_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(
+      result.out.find("# TYPE lbmv_sim_window_fill_events histogram"),
+      std::string::npos);
+}
+
+TEST(Cli, ObsTraceExportIsValidChromeJson) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  const std::string path = "cli_obs_trace_test.json";
+  const auto result =
+      cli({"obs", "--types", "0.01,0.02", "--rate", "2", "--horizon", "200",
+           "--replications", "2", "--trace", path});
+  EXPECT_EQ(result.code, 0) << result.err;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto doc = lbmv::util::JsonValue::parse(buffer.str());
+  EXPECT_FALSE(doc.at("traceEvents").as_array().empty());
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ObsRejectsBadSnapshotMode) {
+  const auto result = cli({"obs", "--snapshot", "xml"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("--snapshot"), std::string::npos);
 }
 
 }  // namespace

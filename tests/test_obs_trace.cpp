@@ -1,0 +1,126 @@
+// Tests for trace spans and the ring-buffer recorder, plus the end-to-end
+// acceptance check: a protocol round's per-server completion counters must
+// equal the SystemMetrics totals when no warmup is discarded.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lbmv/core/comp_bonus.h"
+#include "lbmv/model/system_config.h"
+#include "lbmv/obs/metrics.h"
+#include "lbmv/obs/obs.h"
+#include "lbmv/obs/trace.h"
+#include "lbmv/sim/protocol.h"
+#include "lbmv/util/json.h"
+
+namespace {
+
+using namespace lbmv::obs;
+
+struct EnabledScope {
+  EnabledScope() { set_enabled(true); }
+  ~EnabledScope() { set_enabled(false); }
+};
+
+// Recording-behaviour tests only apply with probes compiled in; under
+// -DLBMV_OBS=OFF every record call is an intentional no-op.
+#define SKIP_IF_COMPILED_OUT()                                          \
+  if (!lbmv::obs::kCompiledIn)                                          \
+  GTEST_SKIP() << "probes compiled out (LBMV_OBS=0)"
+
+TEST(TraceRecorder, SpanRecordsIntoGlobalRecorderWhenEnabled) {
+  SKIP_IF_COMPILED_OUT();
+  TraceRecorder::global().clear();
+  {
+    EnabledScope on;
+    const Span span("unit_test_span", "test");
+  }
+  const auto events = TraceRecorder::global().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "unit_test_span");
+  EXPECT_STREQ(events[0].category, "test");
+  EXPECT_GT(events[0].tid, 0u);
+}
+
+TEST(TraceRecorder, SpanIsANoOpWhenDisabled) {
+  TraceRecorder::global().clear();
+  set_enabled(false);
+  { const Span span("invisible", "test"); }
+  EXPECT_TRUE(TraceRecorder::global().events().empty());
+}
+
+TEST(TraceRecorder, RingOverwritesOldestAndCountsDrops) {
+  SKIP_IF_COMPILED_OUT();
+  EnabledScope on;
+  TraceRecorder recorder(/*capacity_per_thread=*/2);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    recorder.record("s", "test", /*start_ns=*/i, /*duration_ns=*/1);
+  }
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(recorder.dropped(), 3u);
+  // The two most recent spans (starts 3 and 4) survive.
+  EXPECT_EQ(events.front().start_ns + events.back().start_ns, 7u);
+}
+
+TEST(TraceRecorder, ChromeJsonParsesAndCarriesCompleteEvents) {
+  SKIP_IF_COMPILED_OUT();
+  EnabledScope on;
+  TraceRecorder recorder;
+  recorder.record("alpha", "test", 1000, 2500);
+  recorder.record("beta", "test", 4000, 500);
+  const lbmv::util::JsonValue doc =
+      lbmv::util::JsonValue::parse(recorder.to_chrome_json());
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("name").as_string(), "alpha");
+  EXPECT_EQ(events[0].at("ph").as_string(), "X");
+  EXPECT_DOUBLE_EQ(events[0].at("ts").as_number(), 0.0);   // rebased
+  EXPECT_DOUBLE_EQ(events[0].at("dur").as_number(), 2.5);  // us
+  EXPECT_DOUBLE_EQ(events[1].at("ts").as_number(), 3.0);
+  EXPECT_GT(events[0].at("tid").as_number(), 0.0);
+}
+
+TEST(TraceRecorder, EmptyRecorderStillEmitsValidJson) {
+  const TraceRecorder recorder;
+  const auto doc = lbmv::util::JsonValue::parse(recorder.to_chrome_json());
+  EXPECT_TRUE(doc.at("traceEvents").as_array().empty());
+}
+
+TEST(ObsIntegration, ProtocolRoundCountersMatchSystemMetrics) {
+  SKIP_IF_COMPILED_OUT();
+  EnabledScope on;
+  Registry::global().reset();
+  TraceRecorder::global().clear();
+
+  const lbmv::model::SystemConfig config({0.01, 0.01, 0.02}, 3.0);
+  const lbmv::core::CompBonusMechanism mechanism;
+  lbmv::sim::ProtocolOptions options;
+  options.horizon = 500.0;
+  options.warmup_fraction = 0.0;  // count every completion
+  const lbmv::sim::VerifiedProtocol protocol(mechanism, options);
+  const auto report =
+      protocol.run_round(config, lbmv::model::BidProfile::truthful(config));
+
+  const MetricsSnapshot snap = Registry::global().snapshot();
+  std::uint64_t counted = 0;
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    const std::string name = labeled("lbmv_server_completions_total",
+                                     "server", "C" + std::to_string(i + 1));
+    ASSERT_TRUE(snap.counters.contains(name)) << name;
+    EXPECT_EQ(snap.counters.at(name), report.metrics.servers[i].jobs_completed)
+        << name;
+    counted += snap.counters.at(name);
+  }
+  EXPECT_EQ(counted, report.metrics.total_jobs());
+
+  // The round also left a protocol_round span behind.
+  bool saw_round_span = false;
+  for (const TraceEvent& e : TraceRecorder::global().events()) {
+    if (std::string_view(e.name) == "protocol_round") saw_round_span = true;
+  }
+  EXPECT_TRUE(saw_round_span);
+}
+
+}  // namespace

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -185,6 +186,23 @@ TEST(Metrics, ValidatesArguments) {
   EXPECT_THROW((void)collect_metrics(servers, 0.0),
                lbmv::util::PreconditionError);
   EXPECT_THROW((void)collect_metrics(servers, 10.0, 1.0),
+               lbmv::util::PreconditionError);
+}
+
+TEST(Metrics, RejectsNonFiniteArguments) {
+  // duration = +inf passes `> 0` but yields zero throughput everywhere;
+  // a NaN warmup fraction passes neither bound check and silently keeps
+  // every job.  Both must throw instead of producing meaningless output.
+  Simulation sim;
+  Server server(sim, "s", 1.0, ServiceModel::kExponential, Rng(1));
+  std::vector<Server*> servers{&server};
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)collect_metrics(servers, inf),
+               lbmv::util::PreconditionError);
+  EXPECT_THROW((void)collect_metrics(servers, nan),
+               lbmv::util::PreconditionError);
+  EXPECT_THROW((void)collect_metrics(servers, 10.0, nan),
                lbmv::util::PreconditionError);
 }
 

@@ -18,7 +18,13 @@
 // loop (engine.h) with the preserved seed std::function loop
 // (legacy_engine.h) in the same run: pure dispatch events/sec at several
 // pending-event populations, full queueing-stack events/sec, and
-// replications/sec at 1/4/8 pool threads.
+// replications/sec at 1/4/8 pool threads,
+//
+// plus an `obs_overhead` section measuring the observability layer's cost
+// on the same dispatch ring: events/sec with recording off (probes are one
+// relaxed load) and with recording on (counters + gauges live), side by
+// side so the off-state stays within the run-to-run noise of the plain
+// numbers above.
 
 #include <chrono>
 #include <cmath>
@@ -35,6 +41,8 @@
 #include "lbmv/core/comp_bonus.h"
 #include "lbmv/model/bids.h"
 #include "lbmv/model/system_config.h"
+#include "lbmv/obs/metrics.h"
+#include "lbmv/obs/obs.h"
 #include "lbmv/sim/engine.h"
 #include "lbmv/sim/job_source.h"
 #include "lbmv/sim/legacy_engine.h"
@@ -351,12 +359,45 @@ int main(int argc, char** argv) {
         "by hardware_concurrency";
   }
 
+  // Observability overhead on the pure dispatch ring: recording off must
+  // track the plain typed numbers (same code path, probes compiled in but
+  // gated on one relaxed load); recording on shows the live probe cost.
+  JsonValue::Object obs_overhead;
+  {
+    JsonValue::Array dispatch;
+    for (std::size_t ring : {64ul, 4096ul, 65536ul}) {
+      lbmv::obs::set_enabled(false);
+      const double off = typed_dispatch_events_per_sec(ring);
+      lbmv::obs::set_enabled(true);
+      const double on = typed_dispatch_events_per_sec(ring);
+      lbmv::obs::set_enabled(false);
+      JsonValue::Object entry;
+      entry["pending_events"] = static_cast<double>(ring);
+      entry["disabled_events_per_sec"] = off;
+      entry["enabled_events_per_sec"] = on;
+      entry["disabled_over_enabled"] = off / on;
+      dispatch.emplace_back(std::move(entry));
+      std::cout << "obs_overhead pending=" << ring << ": off " << off / 1e6
+                << "M ev/s, on " << on / 1e6 << "M ev/s (on costs "
+                << (off / on - 1.0) * 100.0 << "%)\n";
+    }
+    lbmv::obs::Registry::global().reset();
+    obs_overhead["event_loop_dispatch"] = std::move(dispatch);
+    obs_overhead["compiled_in"] = lbmv::obs::kCompiledIn;
+    obs_overhead["note"] =
+        "disabled_events_per_sec uses the identical ring workload as "
+        "sim_throughput.event_loop_dispatch.typed_events_per_sec; with "
+        "recording disabled every probe is one relaxed atomic load, so the "
+        "two series must agree within run-to-run noise";
+  }
+
   JsonValue::Object doc;
   doc["schema"] = "lbmv-bench-perf-v1";
   doc["arrival_rate"] = arrival_rate;
   doc["results"] = std::move(series);
   doc["derived"] = std::move(derived);
   doc["sim_throughput"] = std::move(sim_throughput);
+  doc["obs_overhead"] = std::move(obs_overhead);
 
   std::ofstream out(output);
   if (!out) {
