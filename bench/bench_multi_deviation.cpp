@@ -14,6 +14,7 @@
 #include "lbmv/analysis/paper_config.h"
 #include "lbmv/core/comp_bonus.h"
 #include "lbmv/model/bids.h"
+#include "lbmv/strategy/deviation.h"
 #include "lbmv/util/ascii_chart.h"
 #include "lbmv/util/table.h"
 
@@ -24,8 +25,7 @@ int main() {
   const auto config = analysis::paper_table1_config();
   const core::CompBonusMechanism mechanism;
   const double optimal =
-      mechanism.run(config, model::BidProfile::truthful(config))
-          .actual_latency;
+      strategy::DeviationEvaluator(mechanism, config).actual_latency();
 
   struct DeviationKind {
     const char* name;
@@ -45,18 +45,20 @@ int main() {
   for (const auto& kind : kinds) {
     Table table({"Deviators k", "Total latency", "Increase vs optimal"});
     std::vector<lbmv::util::Bar> bars;
+    // One evaluator per deviation kind: k = j extends k = j - 1 by a single
+    // agent, so each sweep step is one O(1) commit instead of a fresh
+    // profile and mechanism run.
+    strategy::DeviationEvaluator evaluator(mechanism, config);
     for (std::size_t k = 0; k <= config.size(); ++k) {
-      model::BidProfile profile = model::BidProfile::truthful(config);
-      for (std::size_t i = 0; i < k; ++i) {
-        profile.bids[i] = config.true_value(i) * kind.bid_mult;
-        profile.executions[i] = config.true_value(i) * kind.exec_mult;
+      if (k > 0) {
+        const double t = config.true_value(k - 1);
+        evaluator.commit(k - 1, t * kind.bid_mult, t * kind.exec_mult);
       }
-      const auto outcome = mechanism.run(config, profile);
-      table.add_row({std::to_string(k),
-                     Table::num(outcome.actual_latency),
-                     Table::pct(outcome.actual_latency / optimal - 1.0)});
+      const double latency = evaluator.actual_latency();
+      table.add_row({std::to_string(k), Table::num(latency),
+                     Table::pct(latency / optimal - 1.0)});
       if (k % 2 == 0) {
-        bars.push_back({"k=" + std::to_string(k), outcome.actual_latency});
+        bars.push_back({"k=" + std::to_string(k), latency});
       }
     }
     std::printf("%s:\n%s%s\n", kind.name, table.to_markdown().c_str(),

@@ -1,57 +1,9 @@
 #include "lbmv/core/comp_bonus.h"
 
-#include "lbmv/alloc/pr_allocator.h"
+#include "lbmv/core/profile_context.h"
 #include "lbmv/util/error.h"
 
 namespace lbmv::core {
-namespace {
-
-/// O(1)-per-deviation utility for the linear-family / PR-allocator fast
-/// path (derivation in DESIGN.md, "Payment complexity").  With the other
-/// agents' bids b_j and executions t~_j frozen, precompute
-///
-///   S_rest = sum_{j != i} 1/b_j,          W_rest = sum_{j != i} t~_j/b_j^2,
-///   L_{-i} = R^2 / S_rest,
-///
-/// and each deviation (b, e) of the audited agent costs only
-///
-///   S = S_rest + 1/b,   x_i = R/(bS),   L = (R/S)^2 (W_rest + e/b^2),
-///   U = C + (L_{-i} - L) - e x_i^2,     C = basis * x_i^2.
-class LinearPrUtilityContext final : public AgentUtilityContext {
- public:
-  LinearPrUtilityContext(double arrival_rate, const model::BidProfile& base,
-                         std::size_t agent, CompensationBasis basis)
-      : arrival_rate_(arrival_rate), basis_(basis) {
-    for (std::size_t j = 0; j < base.size(); ++j) {
-      if (j == agent) continue;
-      const double b = base.bids[j];
-      LBMV_REQUIRE(b > 0.0, "bids must be positive");
-      s_rest_ += 1.0 / b;
-      w_rest_ += base.executions[j] / (b * b);
-    }
-    l_minus_ = arrival_rate * arrival_rate / s_rest_;
-  }
-
-  [[nodiscard]] double utility(double bid, double execution) const override {
-    const double s = s_rest_ + 1.0 / bid;
-    const double xi = arrival_rate_ / (bid * s);
-    const double rs = arrival_rate_ / s;
-    const double actual = rs * rs * (w_rest_ + execution / (bid * bid));
-    const double basis_value =
-        basis_ == CompensationBasis::kExecution ? execution : bid;
-    const double xi2 = xi * xi;
-    return basis_value * xi2 + (l_minus_ - actual) - execution * xi2;
-  }
-
- private:
-  double arrival_rate_;
-  CompensationBasis basis_;
-  double s_rest_ = 0.0;
-  double w_rest_ = 0.0;
-  double l_minus_ = 0.0;
-};
-
-}  // namespace
 
 CompBonusMechanism::CompBonusMechanism()
     : CompBonusMechanism(default_allocator()) {}
@@ -104,19 +56,14 @@ void CompBonusMechanism::fill_payments(const model::LatencyFamily& family,
   }
 }
 
-std::unique_ptr<AgentUtilityContext> CompBonusMechanism::make_utility_context(
+std::unique_ptr<ProfileUtilityContext> CompBonusMechanism::make_profile_context(
     const model::LatencyFamily& family, double arrival_rate,
-    const model::BidProfile& base, std::size_t agent) const {
-  // The closed forms below are exactly the PR allocation on linear
-  // latencies; any other allocator/family pairing must take the slow path.
-  if (dynamic_cast<const model::LinearFamily*>(&family) == nullptr ||
-      dynamic_cast<const alloc::PRAllocator*>(&allocator()) == nullptr) {
-    return nullptr;
-  }
-  LBMV_REQUIRE(agent < base.size(), "agent index out of range");
-  LBMV_REQUIRE(base.size() >= 2, "mechanisms require at least two agents");
-  return std::make_unique<LinearPrUtilityContext>(arrival_rate, base, agent,
-                                                  basis_);
+    const model::BidProfile& base) const {
+  return make_linear_pr_profile_context(
+      basis_ == CompensationBasis::kExecution
+          ? LinearPrRule::kCompBonusExecution
+          : LinearPrRule::kCompBonusBid,
+      family, allocator(), arrival_rate, base);
 }
 
 }  // namespace lbmv::core

@@ -61,11 +61,12 @@ class CompBonusMechanism final : public Mechanism {
   [[nodiscard]] bool uses_verification() const override { return true; }
   [[nodiscard]] CompensationBasis basis() const { return basis_; }
 
-  /// O(1)-per-deviation audit context for the linear-family / PR-allocator
-  /// configuration (the paper's setting); nullptr for other pairings.
-  [[nodiscard]] std::unique_ptr<AgentUtilityContext> make_utility_context(
+  /// O(1)-per-deviation profile context for the linear-family / PR-allocator
+  /// configuration (the paper's setting); nullptr for other pairings.  Also
+  /// powers make_utility_context via the Mechanism base class.
+  [[nodiscard]] std::unique_ptr<ProfileUtilityContext> make_profile_context(
       const model::LatencyFamily& family, double arrival_rate,
-      const model::BidProfile& base, std::size_t agent) const override;
+      const model::BidProfile& base) const override;
 
  protected:
   void fill_payments(const model::LatencyFamily& family, double arrival_rate,

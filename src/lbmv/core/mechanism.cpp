@@ -87,10 +87,43 @@ MechanismOutcome Mechanism::run(const model::SystemConfig& config,
   return run(config.family(), config.arrival_rate(), profile);
 }
 
+namespace {
+
+/// Pins one agent of a ProfileUtilityContext, turning the profile-wide
+/// deviation engine into the single-agent audit interface.  The wrapped
+/// context is never committed to, so concurrent queries remain safe.
+class ProfileAgentContext final : public AgentUtilityContext {
+ public:
+  ProfileAgentContext(std::unique_ptr<ProfileUtilityContext> context,
+                      std::size_t agent)
+      : context_(std::move(context)), agent_(agent) {}
+
+  [[nodiscard]] double utility(double bid, double execution) const override {
+    return context_->utility(agent_, bid, execution);
+  }
+
+ private:
+  std::unique_ptr<ProfileUtilityContext> context_;
+  std::size_t agent_;
+};
+
+}  // namespace
+
 std::unique_ptr<AgentUtilityContext> Mechanism::make_utility_context(
-    const model::LatencyFamily&, double, const model::BidProfile&,
-    std::size_t) const {
-  return nullptr;  // no fast path; audits fall back to run() per deviation
+    const model::LatencyFamily& family, double arrival_rate,
+    const model::BidProfile& base, std::size_t agent) const {
+  // Any mechanism with a profile-wide fast path gets the per-agent audit
+  // fast path for free; without one, audits fall back to run() per
+  // deviation.
+  auto context = make_profile_context(family, arrival_rate, base);
+  if (context == nullptr) return nullptr;
+  LBMV_REQUIRE(agent < base.size(), "agent index out of range");
+  return std::make_unique<ProfileAgentContext>(std::move(context), agent);
+}
+
+std::unique_ptr<ProfileUtilityContext> Mechanism::make_profile_context(
+    const model::LatencyFamily&, double, const model::BidProfile&) const {
+  return nullptr;  // no closed form; callers fall back to run() per deviation
 }
 
 std::shared_ptr<const alloc::Allocator> default_allocator() {

@@ -68,6 +68,44 @@ class AgentUtilityContext {
   [[nodiscard]] virtual double utility(double bid, double execution) const = 0;
 };
 
+/// Strategy fast path: the utility of *any* agent under a unilateral
+/// deviation from a committed base profile, plus an O(1) way to make a
+/// deviation permanent.  Built by Mechanism::make_profile_context once per
+/// profile; the strategy layers (best response, learning, tournaments,
+/// leader-commitment games) then evaluate O(n * grid) deviations at O(1)
+/// each instead of re-running the full mechanism per grid point.
+///
+/// Contract:
+///   * utility() must be safe to call concurrently (pure reads);
+///   * commit() permanently moves one agent to (bid, execution) — O(1)
+///     amortised for closed-form implementations — and is NOT safe to call
+///     concurrently with utility();
+///   * outcome_into() reconstructs the full MechanismOutcome at the
+///     committed profile, agreeing with Mechanism::run to roundoff.
+class ProfileUtilityContext {
+ public:
+  virtual ~ProfileUtilityContext() = default;
+
+  /// Utility of \p agent when it deviates to (\p bid, \p execution), with
+  /// every other agent as committed.  Both values must be positive.
+  [[nodiscard]] virtual double utility(std::size_t agent, double bid,
+                                       double execution) const = 0;
+
+  /// Make a deviation permanent: agent now bids \p bid and executes at
+  /// \p execution for all subsequent queries.
+  virtual void commit(std::size_t agent, double bid, double execution) = 0;
+
+  /// Full mechanism outcome at the committed profile, filled into \p out
+  /// (reusing its capacity where possible).
+  virtual void outcome_into(MechanismOutcome& out) const = 0;
+
+  /// L(x(b), t~) at the committed profile.
+  [[nodiscard]] virtual double actual_latency() const = 0;
+
+  /// The committed profile.
+  [[nodiscard]] virtual const model::BidProfile& profile() const = 0;
+};
+
 /// Base class for load balancing mechanisms (Definition 3.2).
 class Mechanism {
  public:
@@ -102,6 +140,16 @@ class Mechanism {
   [[nodiscard]] virtual std::unique_ptr<AgentUtilityContext>
   make_utility_context(const model::LatencyFamily& family, double arrival_rate,
                        const model::BidProfile& base, std::size_t agent) const;
+
+  /// Build an O(1)-per-deviation evaluator over the whole profile (any agent,
+  /// with commit support), or nullptr when no closed form applies — callers
+  /// then fall back to run() per deviation.  \p base is copied; the context
+  /// does not alias it afterwards.  The default make_utility_context wraps
+  /// this, so a mechanism that implements make_profile_context gets the audit
+  /// fast path for free.
+  [[nodiscard]] virtual std::unique_ptr<ProfileUtilityContext>
+  make_profile_context(const model::LatencyFamily& family, double arrival_rate,
+                       const model::BidProfile& base) const;
 
   [[nodiscard]] const alloc::Allocator& allocator() const {
     return *allocator_;

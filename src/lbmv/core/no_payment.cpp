@@ -1,5 +1,7 @@
 #include "lbmv/core/no_payment.h"
 
+#include "lbmv/core/profile_context.h"
+
 namespace lbmv::core {
 
 NoPaymentMechanism::NoPaymentMechanism()
@@ -19,6 +21,13 @@ void NoPaymentMechanism::fill_payments(const model::LatencyFamily&, double,
     agent.bonus = 0.0;
     agent.payment = 0.0;
   }
+}
+
+std::unique_ptr<ProfileUtilityContext> NoPaymentMechanism::make_profile_context(
+    const model::LatencyFamily& family, double arrival_rate,
+    const model::BidProfile& base) const {
+  return make_linear_pr_profile_context(LinearPrRule::kNoPayment, family,
+                                        allocator(), arrival_rate, base);
 }
 
 }  // namespace lbmv::core

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file profile_context.h
+/// Closed-form ProfileUtilityContext for the paper's setting: linear
+/// latencies allocated by the PR algorithm.
+///
+/// With l_j(x) = b_j * x the PR allocation and the total latency depend on
+/// the profile only through two running sums,
+///
+///   S = sum_j 1/b_j,            W = sum_j t~_j / b_j^2,
+///
+/// giving x_j = R/(b_j S), reported latency L(x, b) = R^2/S and verified
+/// latency L(x, t~) = (R/S)^2 W.  A unilateral deviation of agent i to
+/// (b, e) is the O(1) update
+///
+///   S' = S - 1/b_i + 1/b,       W' = W - t~_i/b_i^2 + e/b^2,
+///
+/// from which every payment rule built on leave-one-out optima follows in
+/// O(1) as well, because L_{-i} = R^2/(S - 1/b_i) (DESIGN.md §10).
+///
+/// The factory below serves the four mechanisms shipped with the repo
+/// (comp-bonus at either compensation basis, VCG, no-payment).  Anything
+/// else — non-linear families, non-PR allocators — returns nullptr and the
+/// caller falls back to Mechanism::run per deviation.
+
+#include <memory>
+
+#include "lbmv/alloc/allocator.h"
+#include "lbmv/core/mechanism.h"
+#include "lbmv/model/bids.h"
+#include "lbmv/model/latency.h"
+
+namespace lbmv::core {
+
+/// Payment rule evaluated by the closed-form context.
+enum class LinearPrRule {
+  kCompBonusExecution,  ///< C_i = t~_i x_i^2, B_i = L_{-i} - L(x, t~)
+  kCompBonusBid,        ///< C_i = b_i  x_i^2, B_i = L_{-i} - L(x, t~)
+  kVcg,                 ///< Clarke pivot on the *reported* types
+  kNoPayment,           ///< P_i = 0
+};
+
+/// Build the closed-form context, or nullptr unless \p family is a
+/// LinearFamily and \p allocator is a PRAllocator (checked dynamically,
+/// mirroring the audit fast-path gate).  \p base is copied.
+[[nodiscard]] std::unique_ptr<ProfileUtilityContext>
+make_linear_pr_profile_context(LinearPrRule rule,
+                               const model::LatencyFamily& family,
+                               const alloc::Allocator& allocator,
+                               double arrival_rate,
+                               const model::BidProfile& base);
+
+}  // namespace lbmv::core

@@ -1,5 +1,7 @@
 #include "lbmv/core/vcg.h"
 
+#include "lbmv/core/profile_context.h"
+
 namespace lbmv::core {
 
 VcgMechanism::VcgMechanism() : VcgMechanism(default_allocator()) {}
@@ -42,6 +44,13 @@ void VcgMechanism::fill_payments(const model::LatencyFamily& family,
     agent.bonus = latency_without[i] - total_reported_cost;
     agent.payment = latency_without[i] - others_cost;
   }
+}
+
+std::unique_ptr<ProfileUtilityContext> VcgMechanism::make_profile_context(
+    const model::LatencyFamily& family, double arrival_rate,
+    const model::BidProfile& base) const {
+  return make_linear_pr_profile_context(LinearPrRule::kVcg, family,
+                                        allocator(), arrival_rate, base);
 }
 
 }  // namespace lbmv::core

@@ -1,11 +1,13 @@
 #include "lbmv/game/stackelberg.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <sstream>
 #include <vector>
 
 #include "lbmv/alloc/convex_allocator.h"
+#include "lbmv/strategy/deviation.h"
 #include "lbmv/util/error.h"
 
 namespace lbmv::game {
@@ -123,6 +125,76 @@ StackelbergReport stackelberg(
   }
   report.combined_flow = model::Allocation(std::move(combined));
   report.total_latency = model::total_latency(report.combined_flow, links);
+  return report;
+}
+
+BidLeaderReport stackelberg_bidding(const core::Mechanism& mechanism,
+                                    const model::SystemConfig& config,
+                                    const BidLeaderOptions& options) {
+  LBMV_REQUIRE(options.leader < config.size(),
+               "leader index out of range");
+  LBMV_REQUIRE(options.bid_grid >= 2, "bid_grid must be at least 2");
+  LBMV_REQUIRE(std::isfinite(options.bid_lo_mult) &&
+                   std::isfinite(options.bid_hi_mult),
+               "commitment interval must be finite");
+  LBMV_REQUIRE(options.bid_lo_mult > 0.0 &&
+                   options.bid_lo_mult < options.bid_hi_mult,
+               "commitment interval must satisfy 0 < lo < hi");
+
+  const std::size_t leader = options.leader;
+  const double t_leader = config.true_value(leader);
+
+  // Log-spaced commitment candidates, with the exact truth appended so the
+  // truthful-commitment baseline is always one of the evaluated points.
+  std::vector<double> candidates;
+  candidates.reserve(static_cast<std::size_t>(options.bid_grid) + 1);
+  const double log_lo = std::log(options.bid_lo_mult * t_leader);
+  const double log_hi = std::log(options.bid_hi_mult * t_leader);
+  for (int k = 0; k < options.bid_grid; ++k) {
+    const double frac =
+        static_cast<double>(k) / static_cast<double>(options.bid_grid - 1);
+    candidates.push_back(std::exp(log_lo + frac * (log_hi - log_lo)));
+  }
+  candidates.push_back(t_leader);
+
+  strategy::BestResponseOptions follower = options.follower;
+  follower.frozen_agents = {leader};
+
+  BidLeaderReport report;
+  report.leader_candidates = static_cast<int>(candidates.size());
+  {
+    const strategy::DeviationEvaluator truthful(mechanism, config);
+    report.optimal_latency = truthful.actual_latency();
+  }
+
+  bool have_best = false;
+  for (double commitment : candidates) {
+    model::BidProfile initial = model::BidProfile::truthful(config);
+    initial.bids[leader] = commitment;  // leader still executes at capacity
+    const strategy::BestResponseResult equilibrium =
+        strategy::best_response_dynamics(mechanism, config, initial, follower);
+
+    model::BidProfile final_profile;
+    final_profile.bids = equilibrium.final_bids;
+    final_profile.executions = equilibrium.final_executions;
+    const strategy::DeviationEvaluator evaluator(mechanism, config,
+                                                 std::move(final_profile));
+    const double utility =
+        evaluator.utility(leader, commitment, t_leader);
+
+    if (commitment == t_leader) {
+      report.truthful_commitment_utility = utility;
+    }
+    if (!have_best || utility > report.leader_utility) {
+      have_best = true;
+      report.leader_utility = utility;
+      report.leader_bid = commitment;
+      report.total_latency = equilibrium.final_actual_latency;
+      report.follower_bids = equilibrium.final_bids;
+    }
+  }
+  report.commitment_gain =
+      report.leader_utility - report.truthful_commitment_utility;
   return report;
 }
 

@@ -63,4 +63,18 @@ ProtocolProbes& ProtocolProbes::get() {
   return probes;
 }
 
+StrategyProbes& StrategyProbes::get() {
+  static StrategyProbes probes = [] {
+    Registry& r = Registry::global();
+    StrategyProbes p;
+    p.deviation_evals = r.counter("lbmv_strategy_deviation_evals_total");
+    p.mechanism_runs_avoided =
+        r.counter("lbmv_strategy_mechanism_runs_avoided_total");
+    p.commits = r.counter("lbmv_strategy_commits_total");
+    p.round_seconds = r.histogram("lbmv_strategy_best_response_round_seconds");
+    return p;
+  }();
+  return probes;
+}
+
 }  // namespace lbmv::obs

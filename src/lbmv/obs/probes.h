@@ -25,6 +25,10 @@
 ///     lbmv_protocol_rounds_total              VerifiedProtocol rounds
 ///     lbmv_protocol_replications_total        completed replications
 ///     lbmv_protocol_estimate_fallbacks_total  rate-estimate fallbacks
+///     lbmv_strategy_deviation_evals_total     DeviationEvaluator queries
+///     lbmv_strategy_mechanism_runs_avoided_total  fast-path queries that
+///                                             skipped a full Mechanism::run
+///     lbmv_strategy_commits_total             committed deviations
 ///
 ///   gauges (additive)
 ///     lbmv_sim_queue_depth        pending events in the calendar queue
@@ -37,6 +41,7 @@
 ///     lbmv_mech_round_bonus         per-agent bonus per round
 ///     lbmv_mech_leave_one_out_batch_size
 ///     lbmv_pool_chunk_size          parallel_for grain sizes
+///     lbmv_strategy_best_response_round_seconds  wall time per dynamics round
 
 #include <cstdint>
 
@@ -85,6 +90,16 @@ struct ProtocolProbes {
   Counter estimate_fallbacks;
 
   static ProtocolProbes& get();
+};
+
+/// Strategy layer: DeviationEvaluator and best-response dynamics.
+struct StrategyProbes {
+  Counter deviation_evals;
+  Counter mechanism_runs_avoided;
+  Counter commits;
+  Histogram round_seconds;
+
+  static StrategyProbes& get();
 };
 
 }  // namespace lbmv::obs

@@ -1,44 +1,69 @@
 #include "lbmv/strategy/best_response.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "lbmv/obs/probes.h"
+#include "lbmv/strategy/deviation.h"
 #include "lbmv/util/error.h"
 #include "lbmv/util/roots.h"
 
 namespace lbmv::strategy {
+namespace {
 
-BestResponseResult best_response_dynamics(const core::Mechanism& mechanism,
-                                          const model::SystemConfig& config,
-                                          const BestResponseOptions& options) {
+void validate_options(const model::SystemConfig& config,
+                      const BestResponseOptions& options) {
   LBMV_REQUIRE(options.max_rounds > 0, "max_rounds must be positive");
+  LBMV_REQUIRE(std::isfinite(options.tol) && options.tol >= 0.0,
+               "tol must be finite and non-negative");
+  LBMV_REQUIRE(std::isfinite(options.bid_lo_mult) &&
+                   std::isfinite(options.bid_hi_mult),
+               "bid search interval must be finite");
   LBMV_REQUIRE(options.bid_lo_mult > 0.0 &&
                    options.bid_lo_mult < options.bid_hi_mult,
                "bid search interval must satisfy 0 < lo < hi");
+  LBMV_REQUIRE(options.bid_grid >= 2, "bid_grid must be at least 2");
+  LBMV_REQUIRE(!options.exec_multipliers.empty(),
+               "exec_multipliers must be non-empty");
   for (double em : options.exec_multipliers) {
-    LBMV_REQUIRE(em >= 1.0, "execution multipliers must be >= 1");
+    LBMV_REQUIRE(std::isfinite(em) && em >= 1.0,
+                 "execution multipliers must be finite and >= 1");
   }
+  for (std::size_t frozen : options.frozen_agents) {
+    LBMV_REQUIRE(frozen < config.size(),
+                 "frozen agent index out of range");
+  }
+}
 
-  model::BidProfile profile = model::BidProfile::truthful(config);
+}  // namespace
+
+BestResponseResult best_response_dynamics(const core::Mechanism& mechanism,
+                                          const model::SystemConfig& config,
+                                          const model::BidProfile& initial,
+                                          const BestResponseOptions& options) {
+  validate_options(config, options);
+
+  DeviationEvaluator evaluator(mechanism, config, initial,
+                               options.use_incremental
+                                   ? DeviationEvaluator::Mode::kAuto
+                                   : DeviationEvaluator::Mode::kNaive);
+  std::vector<char> frozen(config.size(), 0);
+  for (std::size_t i : options.frozen_agents) frozen[i] = 1;
+
   BestResponseResult result;
-
-  auto utility_of = [&](std::size_t i, double bid, double exec) {
-    model::BidProfile candidate = profile;
-    candidate.bids[i] = bid;
-    candidate.executions[i] = exec;
-    return mechanism.run(config, candidate).agents[i].utility;
-  };
-
   for (int round = 0; round < options.max_rounds; ++round) {
+    const auto round_start = std::chrono::steady_clock::now();
     double max_move = 0.0;
     for (std::size_t i = 0; i < config.size(); ++i) {
+      if (frozen[i] != 0) continue;
       const double t = config.true_value(i);
       const double lo = options.bid_lo_mult * t;
       const double hi = options.bid_hi_mult * t;
 
-      double best_bid = profile.bids[i];
-      double best_exec = profile.executions[i];
-      double best_utility = utility_of(i, best_bid, best_exec);
+      double best_bid = evaluator.profile().bids[i];
+      double best_exec = evaluator.profile().executions[i];
+      double best_utility = evaluator.utility(i, best_bid, best_exec);
 
       const std::vector<double> exec_candidates =
           options.optimize_execution ? options.exec_multipliers
@@ -46,8 +71,8 @@ BestResponseResult best_response_dynamics(const core::Mechanism& mechanism,
       for (double em : exec_candidates) {
         const double exec = em * t;
         const auto min_result = util::minimize_scan(
-            [&](double bid) { return -utility_of(i, bid, exec); }, lo, hi,
-            options.bid_grid, 1e-9 * t);
+            [&](double bid) { return -evaluator.utility(i, bid, exec); }, lo,
+            hi, options.bid_grid, 1e-9 * t);
         const double utility = -min_result.fx;
         if (utility > best_utility + 1e-12) {
           best_utility = utility;
@@ -56,29 +81,39 @@ BestResponseResult best_response_dynamics(const core::Mechanism& mechanism,
         }
       }
       max_move = std::max(
-          max_move, std::fabs(best_bid - profile.bids[i]) / t);
-      profile.bids[i] = best_bid;
-      profile.executions[i] = best_exec;
+          max_move, std::fabs(best_bid - evaluator.profile().bids[i]) / t);
+      evaluator.commit(i, best_bid, best_exec);
     }
-    result.bid_trajectory.push_back(profile.bids);
+    result.bid_trajectory.push_back(evaluator.profile().bids);
     result.rounds = round + 1;
+    if (obs::enabled()) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - round_start;
+      obs::StrategyProbes::get().round_seconds.record(elapsed.count());
+    }
     if (max_move <= options.tol) {
       result.converged = true;
       break;
     }
   }
 
-  result.final_bids = profile.bids;
-  result.final_executions = profile.executions;
-  result.final_actual_latency =
-      mechanism.run(config, profile).actual_latency;
+  result.final_bids = evaluator.profile().bids;
+  result.final_executions = evaluator.profile().executions;
+  result.final_actual_latency = evaluator.actual_latency();
   for (std::size_t i = 0; i < config.size(); ++i) {
     const double t = config.true_value(i);
     result.max_relative_untruthfulness =
         std::max(result.max_relative_untruthfulness,
-                 std::fabs(profile.bids[i] - t) / t);
+                 std::fabs(evaluator.profile().bids[i] - t) / t);
   }
   return result;
+}
+
+BestResponseResult best_response_dynamics(const core::Mechanism& mechanism,
+                                          const model::SystemConfig& config,
+                                          const BestResponseOptions& options) {
+  return best_response_dynamics(mechanism, config,
+                                model::BidProfile::truthful(config), options);
 }
 
 }  // namespace lbmv::strategy

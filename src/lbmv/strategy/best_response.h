@@ -13,9 +13,11 @@
 ///     dodge work and the total latency degrades — the paper's motivation,
 ///     quantified (ablation bench A5).
 
+#include <cstddef>
 #include <vector>
 
 #include "lbmv/core/mechanism.h"
+#include "lbmv/model/bids.h"
 #include "lbmv/model/system_config.h"
 
 namespace lbmv::strategy {
@@ -30,6 +32,13 @@ struct BestResponseOptions {
   bool optimize_execution = true;  ///< also search over execution values
   /// Candidate execution multipliers (>= 1) tried for each bid.
   std::vector<double> exec_multipliers{1.0, 1.25, 1.5, 2.0, 3.0};
+  /// Agents that never revise their action (e.g. a committed leader in the
+  /// Stackelberg bidding game).  Indices must be < config.size().
+  std::vector<std::size_t> frozen_agents{};
+  /// Evaluate deviations through the O(1) DeviationEvaluator fast path when
+  /// the mechanism offers one; set false to force the naive re-run path
+  /// (baseline measurements, differential tests).
+  bool use_incremental = true;
 };
 
 /// Trace of one dynamics run.
@@ -47,9 +56,18 @@ struct BestResponseResult {
 /// Run sequential (round-robin) best-response dynamics from the truthful
 /// profile.  Each agent maximises its own mechanism utility by a coarse
 /// scan + golden-section refinement over bids, for each candidate
-/// execution multiplier.
+/// execution multiplier.  Deviations are evaluated through
+/// strategy::DeviationEvaluator: O(1) per grid point for the closed-form
+/// mechanisms, one mechanism run otherwise.
 [[nodiscard]] BestResponseResult best_response_dynamics(
     const core::Mechanism& mechanism, const model::SystemConfig& config,
     const BestResponseOptions& options = {});
+
+/// Same dynamics, started from an arbitrary \p initial profile (must
+/// validate against \p config) — the Stackelberg bidding game uses this to
+/// seed the followers around a committed leader bid.
+[[nodiscard]] BestResponseResult best_response_dynamics(
+    const core::Mechanism& mechanism, const model::SystemConfig& config,
+    const model::BidProfile& initial, const BestResponseOptions& options);
 
 }  // namespace lbmv::strategy

@@ -1,0 +1,93 @@
+#include "lbmv/strategy/deviation.h"
+
+#include <cmath>
+#include <utility>
+
+#include "lbmv/obs/probes.h"
+#include "lbmv/util/error.h"
+
+namespace lbmv::strategy {
+
+DeviationEvaluator::DeviationEvaluator(const core::Mechanism& mechanism,
+                                       const model::SystemConfig& config,
+                                       model::BidProfile profile, Mode mode)
+    : mechanism_(&mechanism),
+      family_(config.family_ptr()),
+      arrival_rate_(config.arrival_rate()),
+      profile_(std::move(profile)) {
+  LBMV_REQUIRE(profile_.size() == config.size(),
+               "profile size must match config size");
+  LBMV_REQUIRE(profile_.size() >= 2, "mechanisms require at least two agents");
+  profile_.validate(profile_.size());
+  if (mode == Mode::kAuto) {
+    context_ =
+        mechanism.make_profile_context(*family_, arrival_rate_, profile_);
+  }
+  if (context_ == nullptr) scratch_ = profile_;
+}
+
+DeviationEvaluator::DeviationEvaluator(const core::Mechanism& mechanism,
+                                       const model::SystemConfig& config,
+                                       Mode mode)
+    : DeviationEvaluator(mechanism, config,
+                         model::BidProfile::truthful(config), mode) {}
+
+double DeviationEvaluator::utility(std::size_t agent, double bid,
+                                   double execution) const {
+  LBMV_REQUIRE(agent < profile().size(), "agent index out of range");
+  LBMV_REQUIRE(bid > 0.0 && std::isfinite(bid) && execution > 0.0 &&
+                   std::isfinite(execution),
+               "deviations must have positive finite bid and execution");
+  if (obs::enabled()) {
+    obs::StrategyProbes& probes = obs::StrategyProbes::get();
+    probes.deviation_evals.inc();
+    if (context_ != nullptr) probes.mechanism_runs_avoided.inc();
+  }
+  if (context_ != nullptr) return context_->utility(agent, bid, execution);
+
+  // Fallback: one full mechanism run against the scratch buffer, with the
+  // deviated entries restored afterwards — no per-call profile copy.
+  scratch_.bids[agent] = bid;
+  scratch_.executions[agent] = execution;
+  const double utility =
+      mechanism_->run(*family_, arrival_rate_, scratch_).agents[agent].utility;
+  scratch_.bids[agent] = profile_.bids[agent];
+  scratch_.executions[agent] = profile_.executions[agent];
+  return utility;
+}
+
+void DeviationEvaluator::commit(std::size_t agent, double bid,
+                                double execution) {
+  LBMV_REQUIRE(agent < profile().size(), "agent index out of range");
+  LBMV_REQUIRE(bid > 0.0 && std::isfinite(bid) && execution > 0.0 &&
+                   std::isfinite(execution),
+               "deviations must have positive finite bid and execution");
+  if (obs::enabled()) obs::StrategyProbes::get().commits.inc();
+  if (context_ != nullptr) {
+    context_->commit(agent, bid, execution);
+    return;
+  }
+  profile_.bids[agent] = bid;
+  profile_.executions[agent] = execution;
+  scratch_.bids[agent] = bid;
+  scratch_.executions[agent] = execution;
+}
+
+void DeviationEvaluator::outcome_into(core::MechanismOutcome& out) const {
+  if (context_ != nullptr) {
+    context_->outcome_into(out);
+    return;
+  }
+  out = mechanism_->run(*family_, arrival_rate_, profile_);
+}
+
+double DeviationEvaluator::actual_latency() const {
+  if (context_ != nullptr) return context_->actual_latency();
+  return mechanism_->run(*family_, arrival_rate_, profile_).actual_latency;
+}
+
+const model::BidProfile& DeviationEvaluator::profile() const {
+  return context_ != nullptr ? context_->profile() : profile_;
+}
+
+}  // namespace lbmv::strategy

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "lbmv/strategy/deviation.h"
 #include "lbmv/util/error.h"
 #include "lbmv/util/rng.h"
 
@@ -38,26 +39,38 @@ struct Learner {
   }
 };
 
+void validate_options(const model::SystemConfig& config,
+                      const LearningOptions& options) {
+  LBMV_REQUIRE(!options.bid_arms.empty() && !options.exec_arms.empty(),
+               "arm grids must be non-empty");
+  for (double b : options.bid_arms) {
+    LBMV_REQUIRE(std::isfinite(b) && b > 0.0,
+                 "bid arms must be positive and finite");
+  }
+  for (double e : options.exec_arms) {
+    LBMV_REQUIRE(std::isfinite(e) && e >= 1.0,
+                 "execution arms must be finite and >= 1");
+  }
+  LBMV_REQUIRE(options.rounds > 0, "rounds must be positive");
+  LBMV_REQUIRE(std::isfinite(options.epsilon) && options.epsilon >= 0.0 &&
+                   options.epsilon <= 1.0,
+               "epsilon must be in [0, 1]");
+  LBMV_REQUIRE(std::isfinite(options.epsilon_decay) &&
+                   options.epsilon_decay > 0.0 &&
+                   options.epsilon_decay <= 1.0,
+               "epsilon_decay must be in (0, 1]");
+  if (options.single_learner) {
+    LBMV_REQUIRE(*options.single_learner < config.size(),
+                 "single_learner index out of range");
+  }
+}
+
 }  // namespace
 
 LearningResult run_learning(const core::Mechanism& mechanism,
                             const model::SystemConfig& config,
                             const LearningOptions& options) {
-  LBMV_REQUIRE(!options.bid_arms.empty() && !options.exec_arms.empty(),
-               "arm grids must be non-empty");
-  for (double b : options.bid_arms) {
-    LBMV_REQUIRE(b > 0.0, "bid arms must be positive");
-  }
-  for (double e : options.exec_arms) {
-    LBMV_REQUIRE(e >= 1.0, "execution arms must be >= 1");
-  }
-  LBMV_REQUIRE(options.rounds > 0, "rounds must be positive");
-  LBMV_REQUIRE(options.epsilon >= 0.0 && options.epsilon <= 1.0,
-               "epsilon must be in [0, 1]");
-  if (options.single_learner) {
-    LBMV_REQUIRE(*options.single_learner < config.size(),
-                 "single_learner index out of range");
-  }
+  validate_options(config, options);
 
   const std::size_t n = config.size();
   const std::size_t arms = options.bid_arms.size() * options.exec_arms.size();
@@ -67,7 +80,9 @@ LearningResult run_learning(const core::Mechanism& mechanism,
   auto arm_exec = [&](std::size_t a) {
     return options.exec_arms[a % options.exec_arms.size()];
   };
-  // Index of the truthful arm (1, 1) if present; used only for reporting.
+  auto learns = [&](std::size_t i) {
+    return !options.single_learner || *options.single_learner == i;
+  };
   util::Rng root(options.seed);
   std::vector<Learner> learners(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -76,15 +91,11 @@ LearningResult run_learning(const core::Mechanism& mechanism,
     learners[i].rng = root.split(i + 1);
   }
 
-  auto profile_for = [&](const std::vector<std::size_t>& chosen) {
-    model::BidProfile profile = model::BidProfile::truthful(config);
-    for (std::size_t i = 0; i < n; ++i) {
-      if (options.single_learner && *options.single_learner != i) continue;
-      profile.bids[i] = arm_bid(chosen[i]) * config.true_value(i);
-      profile.executions[i] = arm_exec(chosen[i]) * config.true_value(i);
-    }
-    return profile;
-  };
+  // Non-learners stay at the initial truthful entries forever; learners are
+  // committed to their chosen arm each round, so one evaluator serves the
+  // whole run with no per-round profile construction.
+  DeviationEvaluator evaluator(mechanism, config);
+  core::MechanismOutcome outcome;  // reused across rounds
 
   LearningResult result;
   result.latency_trace.reserve(static_cast<std::size_t>(options.rounds));
@@ -92,12 +103,15 @@ LearningResult run_learning(const core::Mechanism& mechanism,
   std::vector<std::size_t> chosen(n, 0);
   for (int round = 0; round < options.rounds; ++round) {
     for (std::size_t i = 0; i < n; ++i) {
+      if (!learns(i)) continue;
       chosen[i] = learners[i].pick(epsilon);
+      const double t = config.true_value(i);
+      evaluator.commit(i, arm_bid(chosen[i]) * t, arm_exec(chosen[i]) * t);
     }
-    const auto outcome = mechanism.run(config, profile_for(chosen));
+    evaluator.outcome_into(outcome);
     result.latency_trace.push_back(outcome.actual_latency);
     for (std::size_t i = 0; i < n; ++i) {
-      if (options.single_learner && *options.single_learner != i) continue;
+      if (!learns(i)) continue;
       learners[i].update(chosen[i], outcome.agents[i].utility);
     }
     epsilon *= options.epsilon_decay;
@@ -106,23 +120,65 @@ LearningResult run_learning(const core::Mechanism& mechanism,
   result.final_bid_mult.resize(n, 1.0);
   result.final_exec_mult.resize(n, 1.0);
   std::size_t truthful = 0;
-  std::vector<std::size_t> greedy(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    if (options.single_learner && *options.single_learner != i) {
+    if (!learns(i)) {
       ++truthful;  // non-learners are truthful by construction
       continue;
     }
-    greedy[i] = learners[i].greedy();
-    result.final_bid_mult[i] = arm_bid(greedy[i]);
-    result.final_exec_mult[i] = arm_exec(greedy[i]);
+    const std::size_t greedy = learners[i].greedy();
+    result.final_bid_mult[i] = arm_bid(greedy);
+    result.final_exec_mult[i] = arm_exec(greedy);
+    const double t = config.true_value(i);
+    evaluator.commit(i, result.final_bid_mult[i] * t,
+                     result.final_exec_mult[i] * t);
     truthful += result.final_bid_mult[i] == 1.0 &&
                 result.final_exec_mult[i] == 1.0;
   }
   result.truthful_fraction =
       static_cast<double>(truthful) / static_cast<double>(n);
-  result.final_greedy_latency =
-      mechanism.run(config, profile_for(greedy)).actual_latency;
+  result.final_greedy_latency = evaluator.actual_latency();
   return result;
+}
+
+double LearningEnsemble::mean_truthful_fraction() const {
+  if (replications.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& r : replications) s += r.truthful_fraction;
+  return s / static_cast<double>(replications.size());
+}
+
+double LearningEnsemble::mean_greedy_latency() const {
+  if (replications.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& r : replications) s += r.final_greedy_latency;
+  return s / static_cast<double>(replications.size());
+}
+
+LearningEnsemble run_learning_replicated(const core::Mechanism& mechanism,
+                                         const model::SystemConfig& config,
+                                         const LearningOptions& options,
+                                         std::size_t replications,
+                                         util::ThreadPool* pool,
+                                         std::size_t grain) {
+  validate_options(config, options);
+  LBMV_REQUIRE(replications > 0, "replications must be positive");
+
+  // Each replication gets its own seed stream derived from the base seed;
+  // slot r of the output depends on nothing but r, so the ensemble is
+  // invariant to thread count and grain.
+  const util::Rng root(options.seed);
+  LearningEnsemble ensemble;
+  ensemble.replications.resize(replications);
+  util::ThreadPool& runner = pool != nullptr ? *pool : util::ThreadPool::global();
+  runner.parallel_for(
+      0, replications,
+      [&](std::size_t r) {
+        LearningOptions rep_options = options;
+        rep_options.seed = root.split(r + 1).seed();
+        ensemble.replications[r] = run_learning(mechanism, config, rep_options);
+      },
+      grain);
+  return ensemble;
 }
 
 }  // namespace lbmv::strategy

@@ -18,6 +18,7 @@
 
 #include "lbmv/core/mechanism.h"
 #include "lbmv/model/system_config.h"
+#include "lbmv/util/thread_pool.h"
 
 namespace lbmv::strategy {
 
@@ -46,9 +47,30 @@ struct LearningResult {
   double truthful_fraction = 0.0;       ///< share of agents at (1, 1)
 };
 
-/// Run epsilon-greedy bandits over mechanism rounds.
+/// Run epsilon-greedy bandits over mechanism rounds.  Each round is one
+/// DeviationEvaluator outcome — O(n) per round on the closed-form
+/// mechanisms instead of a full mechanism run with its per-round profile
+/// and latency-curve allocations.
 [[nodiscard]] LearningResult run_learning(const core::Mechanism& mechanism,
                                           const model::SystemConfig& config,
                                           const LearningOptions& options = {});
+
+/// Independent learning runs aggregated across replications.
+struct LearningEnsemble {
+  std::vector<LearningResult> replications;  ///< in replication order
+
+  [[nodiscard]] double mean_truthful_fraction() const;
+  [[nodiscard]] double mean_greedy_latency() const;
+};
+
+/// Run \p replications independent learning runs in parallel on \p pool
+/// (nullptr: the global pool).  Replication r uses the seed stream
+/// Rng(options.seed).split(r + 1), and results are merged in replication
+/// order, so the ensemble is bit-identical for any thread count or grain —
+/// the same discipline as sim::ReplicationRunner.
+[[nodiscard]] LearningEnsemble run_learning_replicated(
+    const core::Mechanism& mechanism, const model::SystemConfig& config,
+    const LearningOptions& options, std::size_t replications,
+    util::ThreadPool* pool = nullptr, std::size_t grain = 1);
 
 }  // namespace lbmv::strategy

@@ -99,9 +99,16 @@ std::unique_ptr<Strategy> SlackExecutionStrategy::clone() const {
 model::BidProfile apply_strategies(
     const model::SystemConfig& config,
     const std::vector<const Strategy*>& strategies, util::Rng& rng) {
+  model::BidProfile profile;
+  apply_strategies_into(config, strategies, rng, profile);
+  return profile;
+}
+
+void apply_strategies_into(const model::SystemConfig& config,
+                           const std::vector<const Strategy*>& strategies,
+                           util::Rng& rng, model::BidProfile& profile) {
   LBMV_REQUIRE(strategies.size() == config.size(),
                "one strategy per agent required");
-  model::BidProfile profile;
   profile.bids.resize(config.size());
   profile.executions.resize(config.size());
   for (std::size_t i = 0; i < config.size(); ++i) {
@@ -112,7 +119,6 @@ model::BidProfile apply_strategies(
     LBMV_ASSERT(profile.executions[i] >= t,
                 "strategy produced an execution value below capacity");
   }
-  return profile;
 }
 
 }  // namespace lbmv::strategy

@@ -101,4 +101,11 @@ class SlackExecutionStrategy final : public Strategy {
     const model::SystemConfig& config,
     const std::vector<const Strategy*>& strategies, util::Rng& rng);
 
+/// In-place variant for hot loops: fills \p profile, reusing its capacity,
+/// so a profile carried across tournament instances or learning rounds
+/// allocates at most once.
+void apply_strategies_into(const model::SystemConfig& config,
+                           const std::vector<const Strategy*>& strategies,
+                           util::Rng& rng, model::BidProfile& profile);
+
 }  // namespace lbmv::strategy

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "lbmv/strategy/deviation.h"
 #include "lbmv/util/error.h"
 #include "lbmv/util/stats.h"
 
@@ -14,14 +15,29 @@ std::vector<StrategyScore> run_tournament(
   LBMV_REQUIRE(!strategies.empty(), "tournament needs at least one strategy");
   LBMV_REQUIRE(options.agents >= 2, "tournament systems need >= 2 agents");
   LBMV_REQUIRE(options.instances > 0, "tournament needs >= 1 instance");
+  LBMV_REQUIRE(std::isfinite(options.type_lo) &&
+                   std::isfinite(options.type_hi),
+               "type range must be finite");
   LBMV_REQUIRE(0.0 < options.type_lo && options.type_lo < options.type_hi,
                "type range must satisfy 0 < lo < hi");
+  LBMV_REQUIRE(std::isfinite(options.arrival_rate) &&
+                   options.arrival_rate > 0.0,
+               "arrival rate must be positive and finite");
 
-  std::vector<util::RunningStats> utility(strategies.size());
-  std::vector<util::RunningStats> regret(strategies.size());
-  util::Rng rng(options.seed);
+  const std::size_t instances = static_cast<std::size_t>(options.instances);
+  const util::Rng rng(options.seed);
 
-  for (int instance = 0; instance < options.instances; ++instance) {
+  // Per-agent (achieved, regret) samples, one row per instance.  Instance k
+  // reads nothing but the seed stream split(k) and writes only its own row;
+  // the rows are then merged in instance order, so the scores are
+  // bit-identical whether the loop runs serially or on a pool of any size.
+  struct Sample {
+    double achieved = 0.0;
+    double regret = 0.0;
+  };
+  std::vector<std::vector<Sample>> samples(instances);
+
+  auto run_instance = [&](std::size_t instance) {
     util::Rng instance_rng = rng.split(static_cast<std::uint64_t>(instance));
     std::vector<double> types(options.agents);
     for (double& t : types) {
@@ -35,21 +51,40 @@ std::vector<StrategyScore> run_tournament(
       assigned[i] = strategies[i % strategies.size()];
     }
     util::Rng action_rng = instance_rng.split(1);
-    const model::BidProfile profile =
-        apply_strategies(config, assigned, action_rng);
-    const core::MechanismOutcome outcome = mechanism.run(config, profile);
+    model::BidProfile profile = apply_strategies(config, assigned, action_rng);
+    const DeviationEvaluator evaluator(mechanism, config, std::move(profile));
 
+    auto& row = samples[instance];
+    row.resize(options.agents);
+    for (std::size_t i = 0; i < options.agents; ++i) {
+      // Achieved utility and truthful counterfactual through the same
+      // evaluator, so the truthful strategy's regret is exactly zero.
+      const double achieved =
+          evaluator.utility(i, evaluator.profile().bids[i],
+                            evaluator.profile().executions[i]);
+      const double t = config.true_value(i);
+      row[i].achieved = achieved;
+      row[i].regret = evaluator.utility(i, t, t) - achieved;
+    }
+  };
+
+  if (options.parallel && instances > 1) {
+    util::ThreadPool& pool =
+        options.pool != nullptr ? *options.pool : util::ThreadPool::global();
+    pool.parallel_for(0, instances, run_instance, /*grain=*/1);
+  } else {
+    for (std::size_t instance = 0; instance < instances; ++instance) {
+      run_instance(instance);
+    }
+  }
+
+  std::vector<util::RunningStats> utility(strategies.size());
+  std::vector<util::RunningStats> regret(strategies.size());
+  for (std::size_t instance = 0; instance < instances; ++instance) {
     for (std::size_t i = 0; i < options.agents; ++i) {
       const std::size_t s = i % strategies.size();
-      const double achieved = outcome.agents[i].utility;
-      // Truthful counterfactual with everyone else's actions fixed.
-      model::BidProfile counterfactual = profile;
-      counterfactual.bids[i] = config.true_value(i);
-      counterfactual.executions[i] = config.true_value(i);
-      const double truthful_u =
-          mechanism.run(config, counterfactual).agents[i].utility;
-      utility[s].add(achieved);
-      regret[s].add(truthful_u - achieved);
+      utility[s].add(samples[instance][i].achieved);
+      regret[s].add(samples[instance][i].regret);
     }
   }
 

@@ -18,6 +18,7 @@
 
 #include "lbmv/core/mechanism.h"
 #include "lbmv/strategy/strategy.h"
+#include "lbmv/util/thread_pool.h"
 
 namespace lbmv::strategy {
 
@@ -29,6 +30,11 @@ struct TournamentOptions {
   double type_lo = 0.5;        ///< true values drawn log-uniformly in
   double type_hi = 10.0;       ///< [type_lo, type_hi]
   std::uint64_t seed = 7;
+  /// Run instances across a thread pool.  Instance k depends only on the
+  /// seed stream split(k) and per-instance results are merged in instance
+  /// order, so scores are bit-identical for any thread count.
+  bool parallel = true;
+  util::ThreadPool* pool = nullptr;  ///< nullptr: the global pool
 };
 
 /// Aggregate score of one strategy across the tournament.

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "lbmv/alloc/pr_allocator.h"
 #include "lbmv/core/comp_bonus.h"
 #include "lbmv/core/no_payment.h"
@@ -91,6 +93,74 @@ TEST(BestResponse, ValidatesOptions) {
   bad.exec_multipliers = {0.5};
   EXPECT_THROW((void)best_response_dynamics(mechanism, config, bad),
                lbmv::util::PreconditionError);
+}
+
+TEST(BestResponse, ValidatesNonFiniteOptions) {
+  const SystemConfig config({1.0, 2.0}, 4.0);
+  CompBonusMechanism mechanism;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  BestResponseOptions bad = quick_options();
+  bad.tol = nan;
+  EXPECT_THROW((void)best_response_dynamics(mechanism, config, bad),
+               lbmv::util::PreconditionError);
+  bad = quick_options();
+  bad.bid_hi_mult = inf;
+  EXPECT_THROW((void)best_response_dynamics(mechanism, config, bad),
+               lbmv::util::PreconditionError);
+  bad = quick_options();
+  bad.bid_lo_mult = -1.0;
+  EXPECT_THROW((void)best_response_dynamics(mechanism, config, bad),
+               lbmv::util::PreconditionError);
+  bad = quick_options();
+  bad.exec_multipliers = {1.0, nan};
+  EXPECT_THROW((void)best_response_dynamics(mechanism, config, bad),
+               lbmv::util::PreconditionError);
+  bad = quick_options();
+  bad.frozen_agents = {config.size()};  // out of range
+  EXPECT_THROW((void)best_response_dynamics(mechanism, config, bad),
+               lbmv::util::PreconditionError);
+}
+
+TEST(BestResponse, FrozenAgentsNeverRevise) {
+  // Freeze agent 0 under the no-payment protocol: everyone else inflates
+  // bids to the ceiling while the frozen agent stays truthful.
+  const SystemConfig config({1.0, 2.0, 5.0}, 10.0);
+  NoPaymentMechanism mechanism;
+  BestResponseOptions options = quick_options();
+  options.optimize_execution = false;
+  options.frozen_agents = {0};
+  const BestResponseResult result =
+      best_response_dynamics(mechanism, config, options);
+  EXPECT_DOUBLE_EQ(result.final_bids[0], config.true_value(0));
+  EXPECT_DOUBLE_EQ(result.final_executions[0], config.true_value(0));
+  for (std::size_t i = 1; i < config.size(); ++i) {
+    EXPECT_GT(result.final_bids[i] / config.true_value(i), 10.0)
+        << "agent " << i;
+  }
+}
+
+TEST(BestResponse, NaiveAndIncrementalPathsAgree) {
+  // The use_incremental = false baseline re-runs the mechanism per grid
+  // point but must land on the same dynamics (identical utilities up to
+  // roundoff drive identical argmax decisions at this granularity).
+  const SystemConfig config({1.0, 2.0, 5.0}, 10.0);
+  CompBonusMechanism mechanism;
+  BestResponseOptions options = quick_options();
+  const BestResponseResult fast =
+      best_response_dynamics(mechanism, config, options);
+  options.use_incremental = false;
+  const BestResponseResult naive =
+      best_response_dynamics(mechanism, config, options);
+  ASSERT_EQ(fast.final_bids.size(), naive.final_bids.size());
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    EXPECT_NEAR(fast.final_bids[i], naive.final_bids[i],
+                1e-6 * config.true_value(i))
+        << "agent " << i;
+    EXPECT_DOUBLE_EQ(fast.final_executions[i], naive.final_executions[i]);
+  }
+  EXPECT_NEAR(fast.final_actual_latency, naive.final_actual_latency,
+              1e-9 * naive.final_actual_latency);
 }
 
 }  // namespace

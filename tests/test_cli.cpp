@@ -347,4 +347,43 @@ TEST(Cli, ObsRejectsBadSnapshotMode) {
   EXPECT_NE(result.err.find("--snapshot"), std::string::npos);
 }
 
+TEST(Cli, ObsDynamicsWorkloadShowsStrategyProbes) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  const auto result = cli({"obs", "--types", "1,2,5", "--rate", "10",
+                           "--workload", "dynamics", "--rounds", "4"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("lbmv_strategy_deviation_evals_total"),
+            std::string::npos);
+  EXPECT_NE(result.out.find("lbmv_strategy_mechanism_runs_avoided_total"),
+            std::string::npos);
+  EXPECT_NE(result.out.find("lbmv_strategy_best_response_round_seconds"),
+            std::string::npos);
+  EXPECT_NE(result.out.find("cross-check"), std::string::npos);
+}
+
+TEST(Cli, ObsDynamicsJsonSnapshotCountsEvaluations) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  const auto result = cli({"obs", "--types", "1,2,5", "--rate", "10",
+                           "--workload", "dynamics", "--rounds", "4",
+                           "--snapshot", "json"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  const auto doc = lbmv::util::JsonValue::parse(result.out);
+  const auto& counters = doc.at("counters");
+  ASSERT_TRUE(counters.contains("lbmv_strategy_deviation_evals_total"));
+  const double evals =
+      counters.at("lbmv_strategy_deviation_evals_total").as_number();
+  EXPECT_GT(evals, 0.0);
+  // Comp-bonus on the default linear family has the closed form: every
+  // evaluation skips a mechanism run.
+  EXPECT_EQ(
+      counters.at("lbmv_strategy_mechanism_runs_avoided_total").as_number(),
+      evals);
+}
+
+TEST(Cli, ObsRejectsBadWorkload) {
+  const auto result = cli({"obs", "--workload", "galactic"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("--workload"), std::string::npos);
+}
+
 }  // namespace

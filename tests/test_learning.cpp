@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "lbmv/alloc/pr_allocator.h"
@@ -114,6 +115,74 @@ TEST(Learning, ValidatesOptions) {
   bad.bid_arms = {-1.0};
   EXPECT_THROW((void)run_learning(mechanism, test_config(), bad),
                lbmv::util::PreconditionError);
+}
+
+TEST(Learning, ValidatesNonFiniteOptions) {
+  CompBonusMechanism mechanism;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  LearningOptions bad;
+  bad.bid_arms = {1.0, nan};
+  EXPECT_THROW((void)run_learning(mechanism, test_config(), bad),
+               lbmv::util::PreconditionError);
+  bad = LearningOptions{};
+  bad.epsilon = nan;
+  EXPECT_THROW((void)run_learning(mechanism, test_config(), bad),
+               lbmv::util::PreconditionError);
+  bad = LearningOptions{};
+  bad.epsilon_decay = 0.0;
+  EXPECT_THROW((void)run_learning(mechanism, test_config(), bad),
+               lbmv::util::PreconditionError);
+  bad = LearningOptions{};
+  bad.epsilon_decay = 1.5;
+  EXPECT_THROW((void)run_learning(mechanism, test_config(), bad),
+               lbmv::util::PreconditionError);
+}
+
+TEST(Learning, ReplicatedEnsembleIsThreadCountInvariant) {
+  // Replication r derives its seed from Rng(options.seed).split(r + 1) and
+  // results merge in replication order, so the ensemble is bit-identical
+  // across pool sizes and grains.
+  CompBonusMechanism mechanism;
+  LearningOptions options;
+  options.rounds = 80;
+  const std::size_t replications = 6;
+  lbmv::util::ThreadPool one(1);
+  const auto baseline = lbmv::strategy::run_learning_replicated(
+      mechanism, test_config(), options, replications, &one);
+  ASSERT_EQ(baseline.replications.size(), replications);
+  for (std::size_t threads : {2ul, 8ul}) {
+    lbmv::util::ThreadPool pool(threads);
+    for (std::size_t grain : {1ul, 3ul}) {
+      const auto ensemble = lbmv::strategy::run_learning_replicated(
+          mechanism, test_config(), options, replications, &pool, grain);
+      ASSERT_EQ(ensemble.replications.size(), replications);
+      for (std::size_t r = 0; r < replications; ++r) {
+        EXPECT_EQ(ensemble.replications[r].latency_trace,
+                  baseline.replications[r].latency_trace)
+            << "threads=" << threads << " grain=" << grain << " rep=" << r;
+        EXPECT_EQ(ensemble.replications[r].final_bid_mult,
+                  baseline.replications[r].final_bid_mult);
+        EXPECT_EQ(ensemble.replications[r].final_exec_mult,
+                  baseline.replications[r].final_exec_mult);
+      }
+      EXPECT_EQ(ensemble.mean_truthful_fraction(),
+                baseline.mean_truthful_fraction());
+      EXPECT_EQ(ensemble.mean_greedy_latency(),
+                baseline.mean_greedy_latency());
+    }
+  }
+}
+
+TEST(Learning, ReplicationsDifferFromEachOther) {
+  // Distinct seed streams: the replications are not copies of one run.
+  CompBonusMechanism mechanism;
+  LearningOptions options;
+  options.rounds = 80;
+  lbmv::util::ThreadPool pool(2);
+  const auto ensemble = lbmv::strategy::run_learning_replicated(
+      mechanism, test_config(), options, 4, &pool);
+  EXPECT_NE(ensemble.replications[0].latency_trace,
+            ensemble.replications[1].latency_trace);
 }
 
 }  // namespace

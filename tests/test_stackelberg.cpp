@@ -2,11 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 #include <vector>
 
+#include "lbmv/core/comp_bonus.h"
+#include "lbmv/core/no_payment.h"
 #include "lbmv/game/stackelberg.h"
 #include "lbmv/model/latency.h"
+#include "lbmv/model/system_config.h"
 #include "lbmv/util/error.h"
 
 namespace {
@@ -92,6 +97,76 @@ TEST(Stackelberg, ValidatesArguments) {
                lbmv::util::PreconditionError);
   std::vector<std::unique_ptr<LatencyFunction>> none;
   EXPECT_THROW((void)stackelberg(none, 1.0, 0.5),
+               lbmv::util::PreconditionError);
+}
+
+// ---- mechanism-layer bidding game -----------------------------------------
+
+lbmv::game::BidLeaderOptions quick_bidding_options() {
+  lbmv::game::BidLeaderOptions options;
+  options.bid_grid = 9;
+  options.follower.max_rounds = 8;
+  options.follower.bid_grid = 48;
+  options.follower.exec_multipliers = {1.0, 1.5, 2.0};
+  return options;
+}
+
+TEST(StackelbergBidding, CommitmentInflatesTransfersButNotLatency) {
+  // Scope boundary: dominant-strategy truthfulness covers *simultaneous*
+  // play, not commitment.  An inflated commitment (bid above the
+  // capacity the leader still executes at) drags the followers' best
+  // responses up in proportion — their interior optimum is
+  // t_j * S_rest / W_rest, and an inconsistent leader makes
+  // W_rest < S_rest.  The PR allocation is invariant to that common
+  // scaling, so the equilibrium latency stays at the optimum; the
+  // first-mover advantage shows up purely as inflated transfers.
+  const lbmv::model::SystemConfig config({1.0, 2.0, 5.0}, 10.0);
+  const lbmv::core::CompBonusMechanism mechanism;
+  const auto report = lbmv::game::stackelberg_bidding(mechanism, config,
+                                                      quick_bidding_options());
+  EXPECT_GT(report.leader_candidates, 0);
+  EXPECT_GT(report.commitment_gain, 0.0);
+  EXPECT_GT(report.leader_bid, config.true_value(0));
+  // The allocation itself is immune: latency at the commitment
+  // equilibrium matches the truthful optimum.
+  EXPECT_NEAR(report.total_latency, report.optimal_latency,
+              0.01 * report.optimal_latency);
+  // Committing to the truth keeps everyone truthful, so that baseline
+  // equals the closed-form truthful utility L_{-L} - L*.
+  EXPECT_GT(report.truthful_commitment_utility, 0.0);
+}
+
+TEST(StackelbergBidding, CommitmentPaysWithoutPayments) {
+  // Under the no-payment baseline the leader gains by committing to an
+  // inflated bid (dodging work), quantifying the first-mover advantage the
+  // verified mechanism removes.
+  const lbmv::model::SystemConfig config({1.0, 2.0, 5.0}, 10.0);
+  const lbmv::core::NoPaymentMechanism mechanism;
+  lbmv::game::BidLeaderOptions options = quick_bidding_options();
+  options.follower.optimize_execution = false;
+  const auto report =
+      lbmv::game::stackelberg_bidding(mechanism, config, options);
+  EXPECT_GT(report.commitment_gain, 0.0);
+  EXPECT_GT(report.leader_bid, config.true_value(0));
+  // The equilibrium with lying is worse for the system than the optimum.
+  EXPECT_GT(report.total_latency, report.optimal_latency);
+}
+
+TEST(StackelbergBidding, ValidatesOptions) {
+  const lbmv::model::SystemConfig config({1.0, 2.0}, 4.0);
+  const lbmv::core::CompBonusMechanism mechanism;
+  lbmv::game::BidLeaderOptions bad = quick_bidding_options();
+  bad.leader = 5;
+  EXPECT_THROW((void)lbmv::game::stackelberg_bidding(mechanism, config, bad),
+               lbmv::util::PreconditionError);
+  bad = quick_bidding_options();
+  bad.bid_grid = 1;
+  EXPECT_THROW((void)lbmv::game::stackelberg_bidding(mechanism, config, bad),
+               lbmv::util::PreconditionError);
+  bad = quick_bidding_options();
+  bad.bid_lo_mult = 2.0;
+  bad.bid_hi_mult = 0.5;
+  EXPECT_THROW((void)lbmv::game::stackelberg_bidding(mechanism, config, bad),
                lbmv::util::PreconditionError);
 }
 

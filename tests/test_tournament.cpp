@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -122,6 +123,46 @@ TEST(Tournament, ValidatesOptions) {
                lbmv::util::PreconditionError);
   EXPECT_THROW((void)run_tournament(mechanism, {}, TournamentOptions{}),
                lbmv::util::PreconditionError);
+  bad = TournamentOptions{};
+  bad.type_lo = 0.0;
+  EXPECT_THROW((void)run_tournament(mechanism, pointers(owned), bad),
+               lbmv::util::PreconditionError);
+  bad = TournamentOptions{};
+  bad.type_hi = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)run_tournament(mechanism, pointers(owned), bad),
+               lbmv::util::PreconditionError);
+  bad = TournamentOptions{};
+  bad.arrival_rate = -1.0;
+  EXPECT_THROW((void)run_tournament(mechanism, pointers(owned), bad),
+               lbmv::util::PreconditionError);
+}
+
+TEST(Tournament, ThreadCountInvariant) {
+  // Instance k draws from seed stream split(k) and the merge walks
+  // (instance, agent) in order, so scores are bit-identical whether the
+  // instances run serially or on any pool size.
+  CompBonusMechanism mechanism;
+  const auto owned = standard_lineup();
+  TournamentOptions serial;
+  serial.instances = 24;
+  serial.parallel = false;
+  const auto baseline = run_tournament(mechanism, pointers(owned), serial);
+  for (std::size_t threads : {1ul, 2ul, 8ul}) {
+    lbmv::util::ThreadPool pool(threads);
+    TournamentOptions options;
+    options.instances = 24;
+    options.parallel = true;
+    options.pool = &pool;
+    const auto scores = run_tournament(mechanism, pointers(owned), options);
+    ASSERT_EQ(scores.size(), baseline.size());
+    for (std::size_t s = 0; s < scores.size(); ++s) {
+      EXPECT_EQ(scores[s].mean_utility, baseline[s].mean_utility)
+          << "threads=" << threads << " strategy=" << scores[s].name;
+      EXPECT_EQ(scores[s].mean_regret, baseline[s].mean_regret)
+          << "threads=" << threads << " strategy=" << scores[s].name;
+      EXPECT_EQ(scores[s].samples, baseline[s].samples);
+    }
+  }
 }
 
 }  // namespace

@@ -24,7 +24,19 @@
 // on the same dispatch ring: events/sec with recording off (probes are one
 // relaxed load) and with recording on (counters + gauges live), side by
 // side so the off-state stays within the run-to-run noise of the plain
-// numbers above.
+// numbers above,
+//
+// plus a `strategy_throughput` section for the single-deviation game
+// engine: one best-response round through the O(1) DeviationEvaluator vs
+// the naive re-run-the-mechanism baseline measured in this same run,
+// tournament instance and learning replication rates at 1 and 8 pool
+// threads, and a differential cross-check (incremental vs naive utilities
+// across all four mechanisms including boundary bids) whose failure makes
+// the runner exit non-zero.
+//
+// `--smoke` shrinks every workload (CI-sized: n = 64, short timing
+// windows, sim/obs sections skipped) while still emitting the
+// strategy_throughput section and running the full cross-check.
 
 #include <chrono>
 #include <cmath>
@@ -49,6 +61,13 @@
 #include "lbmv/sim/protocol.h"
 #include "lbmv/sim/replication.h"
 #include "lbmv/sim/server.h"
+#include "lbmv/core/no_payment.h"
+#include "lbmv/core/vcg.h"
+#include "lbmv/strategy/best_response.h"
+#include "lbmv/strategy/deviation.h"
+#include "lbmv/strategy/learning.h"
+#include "lbmv/strategy/strategy.h"
+#include "lbmv/strategy/tournament.h"
 #include "lbmv/util/json.h"
 #include "lbmv/util/rng.h"
 #include "lbmv/util/thread_pool.h"
@@ -223,9 +242,20 @@ double replications_per_sec(std::size_t threads) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string output = argc > 1 ? argv[1] : "BENCH_perf.json";
+  bool smoke = false;
+  std::string output = "BENCH_perf.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      output = arg;
+    }
+  }
   const double arrival_rate = 20.0;
-  const std::vector<std::size_t> sizes{64, 256, 1024};
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{64}
+            : std::vector<std::size_t>{64, 256, 1024};
 
   const lbmv::model::LinearFamily family;
   const lbmv::alloc::PRAllocator allocator;
@@ -303,7 +333,7 @@ int main(int argc, char** argv) {
   // Simulation throughput: typed calendar-queue loop vs the seed
   // std::function loop, measured back to back in this same run.
   JsonValue::Object sim_throughput;
-  {
+  if (!smoke) {
     JsonValue::Array dispatch;
     double best_speedup = 0.0;
     for (std::size_t ring : {64ul, 4096ul, 65536ul}) {
@@ -363,7 +393,7 @@ int main(int argc, char** argv) {
   // track the plain typed numbers (same code path, probes compiled in but
   // gated on one relaxed load); recording on shows the live probe cost.
   JsonValue::Object obs_overhead;
-  {
+  if (!smoke) {
     JsonValue::Array dispatch;
     for (std::size_t ring : {64ul, 4096ul, 65536ul}) {
       lbmv::obs::set_enabled(false);
@@ -391,13 +421,162 @@ int main(int argc, char** argv) {
         "two series must agree within run-to-run noise";
   }
 
+  // Single-deviation game engine: one best-response round through the O(1)
+  // DeviationEvaluator against the naive re-run baseline in this same run,
+  // thread scaling for tournaments/learning, and a differential cross-check
+  // that gates the exit code.
+  JsonValue::Object strategy_throughput;
+  bool cross_check_pass = true;
+  {
+    using lbmv::strategy::DeviationEvaluator;
+    const double tmin = smoke ? 0.05 : 0.5;
+    const int treps = smoke ? 2 : 3;
+
+    const std::size_t n = smoke ? 64 : 256;
+    const int grid = 100;
+    const lbmv::model::SystemConfig config(random_types(n, 7), arrival_rate);
+    const lbmv::core::CompBonusMechanism mechanism;
+    const auto round_seconds = [&](bool incremental) {
+      lbmv::strategy::BestResponseOptions opts;
+      opts.max_rounds = 1;
+      opts.bid_grid = grid;
+      opts.use_incremental = incremental;
+      // The naive round re-runs the whole mechanism per grid point, so a
+      // single timed repetition is already seconds-scale at n = 256.
+      return seconds_per_call(
+          [&] {
+            (void)lbmv::strategy::best_response_dynamics(mechanism, config,
+                                                         opts);
+          },
+          incremental ? tmin : 0.0, incremental ? treps : 1);
+    };
+    const double incremental_round = round_seconds(true);
+    const double naive_round = round_seconds(false);
+    JsonValue::Object round;
+    round["n"] = static_cast<double>(n);
+    round["bid_grid"] = static_cast<double>(grid);
+    round["incremental_seconds"] = incremental_round;
+    round["naive_seconds"] = naive_round;
+    round["speedup"] = naive_round / incremental_round;
+    strategy_throughput["best_response_round"] = std::move(round);
+    std::cout << "best_response_round n=" << n << " grid=" << grid
+              << ": incremental " << incremental_round * 1e3
+              << " ms, naive " << naive_round * 1e3 << " ms ("
+              << naive_round / incremental_round << "x)\n";
+
+    const lbmv::strategy::TruthfulStrategy truthful;
+    const lbmv::strategy::ScalingStrategy low2(0.5, 2.0);
+    const lbmv::strategy::RandomBidStrategy noisy(0.5, 3.0);
+    const std::vector<const lbmv::strategy::Strategy*> strategies{
+        &truthful, &low2, &noisy};
+    lbmv::strategy::TournamentOptions topts;
+    topts.instances = smoke ? 64 : 256;
+    topts.agents = 16;
+    JsonValue::Array tournament_rates;
+    for (std::size_t threads : {1ul, 8ul}) {
+      lbmv::util::ThreadPool pool(threads);
+      topts.pool = &pool;
+      const double secs = seconds_per_call(
+          [&] { (void)lbmv::strategy::run_tournament(mechanism, strategies,
+                                                     topts); },
+          tmin, treps);
+      JsonValue::Object entry;
+      entry["threads"] = static_cast<double>(threads);
+      entry["instances_per_sec"] =
+          static_cast<double>(topts.instances) / secs;
+      std::cout << "tournament threads=" << threads << ": "
+                << static_cast<double>(topts.instances) / secs
+                << " instances/s\n";
+      tournament_rates.emplace_back(std::move(entry));
+    }
+    strategy_throughput["tournament"] = std::move(tournament_rates);
+
+    const lbmv::model::SystemConfig learn_config(random_types(16, 9),
+                                                 arrival_rate);
+    lbmv::strategy::LearningOptions lopts;
+    lopts.rounds = smoke ? 60 : 200;
+    const std::size_t learn_reps = 8;
+    JsonValue::Array learning_rates;
+    for (std::size_t threads : {1ul, 8ul}) {
+      lbmv::util::ThreadPool pool(threads);
+      const double secs = seconds_per_call(
+          [&] {
+            (void)lbmv::strategy::run_learning_replicated(
+                mechanism, learn_config, lopts, learn_reps, &pool);
+          },
+          tmin, treps);
+      JsonValue::Object entry;
+      entry["threads"] = static_cast<double>(threads);
+      entry["replications_per_sec"] =
+          static_cast<double>(learn_reps) / secs;
+      std::cout << "learning threads=" << threads << ": "
+                << static_cast<double>(learn_reps) / secs << " reps/s\n";
+      learning_rates.emplace_back(std::move(entry));
+    }
+    strategy_throughput["learning"] = std::move(learning_rates);
+
+    // Differential cross-check: the closed-form utilities must match the
+    // naive re-run path across every mechanism, at interior and boundary
+    // bids.  A mismatch fails the run (non-zero exit).
+    double max_err = 0.0;
+    const std::size_t cn = 12;
+    const lbmv::model::SystemConfig check_config(random_types(cn, 21),
+                                                 arrival_rate);
+    std::vector<std::unique_ptr<lbmv::core::Mechanism>> mechanisms;
+    mechanisms.push_back(std::make_unique<lbmv::core::CompBonusMechanism>());
+    mechanisms.push_back(std::make_unique<lbmv::core::CompBonusMechanism>(
+        lbmv::core::default_allocator(),
+        lbmv::core::CompensationBasis::kBid));
+    mechanisms.push_back(std::make_unique<lbmv::core::VcgMechanism>());
+    mechanisms.push_back(std::make_unique<lbmv::core::NoPaymentMechanism>());
+    for (const auto& m : mechanisms) {
+      const DeviationEvaluator fast(*m, check_config);
+      const DeviationEvaluator naive(*m, check_config,
+                                     DeviationEvaluator::Mode::kNaive);
+      if (!fast.incremental()) {
+        cross_check_pass = false;
+        std::cerr << "cross-check: " << m->name()
+                  << " has no incremental path\n";
+        continue;
+      }
+      for (std::size_t i = 0; i < cn; ++i) {
+        const double t = check_config.true_value(i);
+        for (double bid_mult : {0.05, 0.7, 1.0, 3.0, 20.0}) {
+          for (double exec_mult : {1.0, 2.0}) {
+            const double a = fast.utility(i, bid_mult * t, exec_mult * t);
+            const double b = naive.utility(i, bid_mult * t, exec_mult * t);
+            const double err =
+                std::fabs(a - b) / std::max(1.0, std::fabs(b));
+            max_err = std::max(max_err, err);
+          }
+        }
+      }
+    }
+    if (max_err >= 1e-9) cross_check_pass = false;
+    strategy_throughput["utilities_cross_check_max_abs_err"] = max_err;
+    strategy_throughput["cross_check_pass"] = cross_check_pass;
+    strategy_throughput["hardware_concurrency"] =
+        static_cast<double>(std::thread::hardware_concurrency());
+    strategy_throughput["note"] =
+        "naive_seconds re-runs the full mechanism per grid point "
+        "(use_incremental = false) in the same process as the incremental "
+        "timing; tournament/learning thread scaling is bounded by "
+        "hardware_concurrency (1 on the recording container)";
+    std::cout << "utilities cross-check: max rel err " << max_err << " -> "
+              << (cross_check_pass ? "pass" : "FAIL") << "\n";
+  }
+
   JsonValue::Object doc;
   doc["schema"] = "lbmv-bench-perf-v1";
   doc["arrival_rate"] = arrival_rate;
+  doc["smoke"] = smoke;
   doc["results"] = std::move(series);
   doc["derived"] = std::move(derived);
-  doc["sim_throughput"] = std::move(sim_throughput);
-  doc["obs_overhead"] = std::move(obs_overhead);
+  if (!smoke) {
+    doc["sim_throughput"] = std::move(sim_throughput);
+    doc["obs_overhead"] = std::move(obs_overhead);
+  }
+  doc["strategy_throughput"] = std::move(strategy_throughput);
 
   std::ofstream out(output);
   if (!out) {
@@ -406,5 +585,9 @@ int main(int argc, char** argv) {
   }
   out << JsonValue(std::move(doc)).dump(2) << "\n";
   std::cout << "wrote " << output << "\n";
+  if (!cross_check_pass) {
+    std::cerr << "strategy utilities cross-check FAILED\n";
+    return 1;
+  }
   return 0;
 }
