@@ -18,6 +18,7 @@
 #include "lbmv/alloc/convex_allocator.h"
 #include "lbmv/alloc/pr_allocator.h"
 #include "lbmv/core/audit.h"
+#include "lbmv/core/batch.h"
 #include "lbmv/core/comp_bonus.h"
 #include "lbmv/dist/protocols.h"
 #include "lbmv/game/wardrop.h"
@@ -119,6 +120,48 @@ void BM_CompBonusRound(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_CompBonusRound)->RangeMultiplier(4)->Range(4, 4096)->Complexity();
+
+void BM_RunInto(benchmark::State& state) {
+  // Allocation-free round kernel: same outcome as run() bit for bit, but
+  // every scratch plane drawn from a caller-held workspace and the linear
+  // family fused into closed forms (DESIGN.md §11).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const lbmv::model::SystemConfig config(random_types(n, 7), 20.0);
+  const lbmv::core::CompBonusMechanism mechanism;
+  const auto profile = lbmv::model::BidProfile::truthful(config);
+  lbmv::core::RoundWorkspace ws;
+  lbmv::core::MechanismOutcome out;
+  for (auto _ : state) {
+    mechanism.run_into(config, profile, out, ws);
+    benchmark::DoNotOptimize(out.actual_latency);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RunInto)->RangeMultiplier(4)->Range(4, 4096)->Complexity();
+
+void BM_BatchRound(benchmark::State& state) {
+  // SoA batch fan-out: 64 profiles per call, fanned over the global pool
+  // with one reusable workspace per worker.  items/sec = mechanism rounds.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t profiles = 64;
+  const lbmv::model::SystemConfig config(random_types(n, 7), 20.0);
+  const lbmv::core::CompBonusMechanism mechanism;
+  lbmv::core::ProfileBatch batch(n);
+  batch.reserve(profiles);
+  for (std::size_t b = 0; b < profiles; ++b) {
+    const auto bids = random_types(n, 100 + b);
+    batch.push_back(bids, bids);
+  }
+  lbmv::core::BatchOutcomes outcomes;
+  for (auto _ : state) {
+    mechanism.run_batch(config, batch, outcomes);
+    benchmark::DoNotOptimize(outcomes[0].actual_latency);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(profiles));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BatchRound)->RangeMultiplier(4)->Range(4, 4096)->Complexity();
 
 void BM_WardropEquilibrium(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -5,6 +5,14 @@
 
 namespace lbmv::alloc {
 
+void Allocator::allocate_into(const model::LatencyFamily& family,
+                              std::span<const double> types,
+                              double arrival_rate,
+                              std::vector<double>& rates) const {
+  const model::Allocation x = allocate(family, types, arrival_rate);
+  rates.assign(x.rates().begin(), x.rates().end());
+}
+
 double Allocator::optimal_latency(const model::LatencyFamily& family,
                                   std::span<const double> types,
                                   double arrival_rate) const {
@@ -21,6 +29,15 @@ double Allocator::optimal_latency(const model::LatencyFamily& family,
 std::vector<double> Allocator::leave_one_out_latencies(
     const model::LatencyFamily& family, std::span<const double> types,
     double arrival_rate) const {
+  std::vector<double> out;
+  leave_one_out_into(family, types, arrival_rate, out);
+  return out;
+}
+
+void Allocator::leave_one_out_into(const model::LatencyFamily& family,
+                                   std::span<const double> types,
+                                   double arrival_rate,
+                                   std::vector<double>& out) const {
   const std::size_t n = types.size();
   LBMV_REQUIRE(n >= 2, "leave-one-out requires at least two computers");
   if (obs::enabled()) {
@@ -34,12 +51,11 @@ std::vector<double> Allocator::leave_one_out_latencies(
   // The element order matches BidProfile::without, so the numeric results
   // are identical to the per-agent-copy formulation.
   std::vector<double> scratch(types.begin() + 1, types.end());
-  std::vector<double> out(n);
+  out.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     out[i] = optimal_latency(family, scratch, arrival_rate);
     if (i + 1 < n) scratch[i] = types[i];
   }
-  return out;
 }
 
 }  // namespace lbmv::alloc

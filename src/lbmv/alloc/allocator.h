@@ -28,6 +28,15 @@ class Allocator {
       const model::LatencyFamily& family, std::span<const double> types,
       double arrival_rate) const = 0;
 
+  /// Allocation-free variant of allocate for batched round kernels: fills
+  /// \p rates (resized to types.size()) reusing its capacity.  The default
+  /// wraps allocate; closed-form allocators override so a warm caller's
+  /// steady state performs no heap allocation at all.
+  virtual void allocate_into(const model::LatencyFamily& family,
+                             std::span<const double> types,
+                             double arrival_rate,
+                             std::vector<double>& rates) const;
+
   /// Minimum total latency for the given types.  The default evaluates the
   /// allocation; closed-form allocators override with the direct formula.
   [[nodiscard]] virtual double optimal_latency(
@@ -38,12 +47,19 @@ class Allocator {
   /// latency of the subsystem with agent i removed, at the same arrival
   /// rate.  This is the payment engine's hot loop — every marginal-payment
   /// rule (compensation-and-bonus, VCG) needs the full vector once per
-  /// round.  The default re-solves each subsystem against a single reused
-  /// scratch buffer (n solves, no per-agent profile copies); closed-form
-  /// allocators override with an O(n)-total formula.  Requires n >= 2.
-  [[nodiscard]] virtual std::vector<double> leave_one_out_latencies(
+  /// round.  Implemented on top of leave_one_out_into.  Requires n >= 2.
+  [[nodiscard]] std::vector<double> leave_one_out_latencies(
       const model::LatencyFamily& family, std::span<const double> types,
       double arrival_rate) const;
+
+  /// Allocation-free leave-one-out: fills \p out (resized to types.size())
+  /// reusing its capacity.  The default re-solves each subsystem against a
+  /// single reused scratch buffer (n solves, no per-agent profile copies);
+  /// closed-form allocators override with an O(n)-total formula.
+  virtual void leave_one_out_into(const model::LatencyFamily& family,
+                                  std::span<const double> types,
+                                  double arrival_rate,
+                                  std::vector<double>& out) const;
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

@@ -1,5 +1,7 @@
 #include "lbmv/alloc/pr_allocator.h"
 
+#include <string>
+
 #include "lbmv/obs/probes.h"
 #include "lbmv/util/error.h"
 
@@ -15,17 +17,32 @@ double inverse_sum(std::span<const double> types) {
   return s;
 }
 
+/// Minimum fraction of S the leave-one-out denominator S - 1/t_i must
+/// retain.  Below this the subtraction has cancelled ~9 decimal digits and
+/// the accumulated roundoff of S (itself O(n * eps * S)) dominates the
+/// result, so the "closed form" would return noise — or, when 1/t_i absorbs
+/// S entirely, infinity.
+constexpr double kLeaveOneOutMinRelativeGap = 1e-9;
+
 }  // namespace
+
+PrSolve pr_allocate_into(std::span<const double> types, double arrival_rate,
+                         std::span<double> rates_out) {
+  LBMV_REQUIRE(!types.empty(), "PR algorithm requires at least one computer");
+  LBMV_REQUIRE(arrival_rate > 0.0, "arrival rate must be positive");
+  LBMV_REQUIRE(rates_out.size() == types.size(),
+               "rates_out must have one slot per computer");
+  const double s = inverse_sum(types);
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    rates_out[i] = (1.0 / types[i]) / s * arrival_rate;
+  }
+  return PrSolve{s, arrival_rate * arrival_rate / s};
+}
 
 model::Allocation pr_allocate(std::span<const double> types,
                               double arrival_rate) {
-  LBMV_REQUIRE(!types.empty(), "PR algorithm requires at least one computer");
-  LBMV_REQUIRE(arrival_rate > 0.0, "arrival rate must be positive");
-  const double denom = inverse_sum(types);
   std::vector<double> x(types.size());
-  for (std::size_t i = 0; i < types.size(); ++i) {
-    x[i] = (1.0 / types[i]) / denom * arrival_rate;
-  }
+  (void)pr_allocate_into(types, arrival_rate, x);
   return model::Allocation(std::move(x));
 }
 
@@ -35,22 +52,44 @@ double pr_optimal_latency(std::span<const double> types, double arrival_rate) {
   return arrival_rate * arrival_rate / inverse_sum(types);
 }
 
-std::vector<double> pr_leave_one_out_latencies(std::span<const double> types,
-                                               double arrival_rate) {
+void pr_leave_one_out_from_sum(double inverse_bid_sum,
+                               std::span<const double> types,
+                               double arrival_rate, std::span<double> out) {
   LBMV_REQUIRE(types.size() >= 2,
                "leave-one-out requires at least two computers");
   LBMV_REQUIRE(arrival_rate > 0.0, "arrival rate must be positive");
+  LBMV_REQUIRE(out.size() == types.size(),
+               "out must have one slot per computer");
+  const double r2 = arrival_rate * arrival_rate;
+  const double min_gap = inverse_bid_sum * kLeaveOneOutMinRelativeGap;
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    const double denom = inverse_bid_sum - 1.0 / types[i];
+    LBMV_REQUIRE(
+        denom > min_gap,
+        "leave-one-out optimum is numerically unresolvable: one agent is so "
+        "much faster than the rest combined that S - 1/t_i cancels "
+        "catastrophically (agent " +
+            std::to_string(i) + " of " + std::to_string(types.size()) + ")");
+    out[i] = r2 / denom;
+  }
+}
+
+void pr_leave_one_out_into(std::span<const double> types, double arrival_rate,
+                           std::span<double> out) {
+  LBMV_REQUIRE(types.size() >= 2,
+               "leave-one-out requires at least two computers");
   if (obs::enabled()) {
     obs::MechProbes& probes = obs::MechProbes::get();
     probes.loo_batches.inc();
     probes.loo_batch_size.record(static_cast<double>(types.size()));
   }
-  const double s = inverse_sum(types);
-  const double r2 = arrival_rate * arrival_rate;
+  pr_leave_one_out_from_sum(inverse_sum(types), types, arrival_rate, out);
+}
+
+std::vector<double> pr_leave_one_out_latencies(std::span<const double> types,
+                                               double arrival_rate) {
   std::vector<double> out(types.size());
-  for (std::size_t i = 0; i < types.size(); ++i) {
-    out[i] = r2 / (s - 1.0 / types[i]);
-  }
+  pr_leave_one_out_into(types, arrival_rate, out);
   return out;
 }
 
@@ -58,6 +97,14 @@ model::Allocation PRAllocator::allocate(const model::LatencyFamily&,
                                         std::span<const double> types,
                                         double arrival_rate) const {
   return pr_allocate(types, arrival_rate);
+}
+
+void PRAllocator::allocate_into(const model::LatencyFamily&,
+                                std::span<const double> types,
+                                double arrival_rate,
+                                std::vector<double>& rates) const {
+  rates.resize(types.size());
+  (void)pr_allocate_into(types, arrival_rate, rates);
 }
 
 double PRAllocator::optimal_latency(const model::LatencyFamily& family,
@@ -71,13 +118,16 @@ double PRAllocator::optimal_latency(const model::LatencyFamily& family,
   return Allocator::optimal_latency(family, types, arrival_rate);
 }
 
-std::vector<double> PRAllocator::leave_one_out_latencies(
-    const model::LatencyFamily& family, std::span<const double> types,
-    double arrival_rate) const {
+void PRAllocator::leave_one_out_into(const model::LatencyFamily& family,
+                                     std::span<const double> types,
+                                     double arrival_rate,
+                                     std::vector<double>& out) const {
   if (dynamic_cast<const model::LinearFamily*>(&family) != nullptr) {
-    return pr_leave_one_out_latencies(types, arrival_rate);
+    out.resize(types.size());
+    pr_leave_one_out_into(types, arrival_rate, out);
+    return;
   }
-  return Allocator::leave_one_out_latencies(family, types, arrival_rate);
+  Allocator::leave_one_out_into(family, types, arrival_rate, out);
 }
 
 }  // namespace lbmv::alloc

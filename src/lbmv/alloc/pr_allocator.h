@@ -20,6 +20,22 @@
 
 namespace lbmv::alloc {
 
+/// Everything the PR closed form derives from one pass over the types.
+/// Returned by pr_allocate_into so callers that need the allocation, the
+/// optimum, and the leave-one-out vector never accumulate S twice.
+struct PrSolve {
+  double inverse_sum = 0.0;      ///< S = sum_j 1/t_j
+  double optimal_latency = 0.0;  ///< L* = R^2 / S (paper eq. (4))
+};
+
+/// Fused single-pass solve: fills rates_out[i] = (1/t_i)/S * R and returns
+/// {S, R^2/S}.  This is the allocation-free kernel entry point — no heap
+/// traffic, \p rates_out must already have types.size() slots.  Both
+/// pr_allocate and pr_optimal_latency reduce to it, so the inverse sum is
+/// accumulated exactly once however many PR quantities a round needs.
+PrSolve pr_allocate_into(std::span<const double> types, double arrival_rate,
+                         std::span<double> rates_out);
+
 /// Closed-form PR allocation.  Requires positive types and arrival rate.
 [[nodiscard]] model::Allocation pr_allocate(std::span<const double> types,
                                             double arrival_rate);
@@ -38,6 +54,24 @@ namespace lbmv::alloc {
 [[nodiscard]] std::vector<double> pr_leave_one_out_latencies(
     std::span<const double> types, double arrival_rate);
 
+/// Allocation-free variant writing into \p out (must have types.size()
+/// slots).
+void pr_leave_one_out_into(std::span<const double> types, double arrival_rate,
+                           std::span<double> out);
+
+/// Leave-one-out optima when S = sum_j 1/t_j is already known (e.g. from
+/// pr_allocate_into in the same round): skips the accumulation pass.
+///
+/// Guards against catastrophic cancellation: when one agent is so fast that
+/// S - 1/t_i underflows to a value carrying no correct digits (the
+/// subtraction cancels more than ~9 significant decimal digits), the old
+/// formulation silently returned a garbage — or infinite — subsystem
+/// optimum.  Such a profile now fails an LBMV_REQUIRE with a diagnostic
+/// naming the dominant agent instead.
+void pr_leave_one_out_from_sum(double inverse_sum,
+                               std::span<const double> types,
+                               double arrival_rate, std::span<double> out);
+
 /// Allocator-interface wrapper around pr_allocate.
 ///
 /// Exact (optimal) for the LinearFamily; for other families it still returns
@@ -49,12 +83,15 @@ class PRAllocator final : public Allocator {
   [[nodiscard]] model::Allocation allocate(
       const model::LatencyFamily& family, std::span<const double> types,
       double arrival_rate) const override;
+  void allocate_into(const model::LatencyFamily& family,
+                     std::span<const double> types, double arrival_rate,
+                     std::vector<double>& rates) const override;
   [[nodiscard]] double optimal_latency(const model::LatencyFamily& family,
                                        std::span<const double> types,
                                        double arrival_rate) const override;
-  [[nodiscard]] std::vector<double> leave_one_out_latencies(
-      const model::LatencyFamily& family, std::span<const double> types,
-      double arrival_rate) const override;
+  void leave_one_out_into(const model::LatencyFamily& family,
+                          std::span<const double> types, double arrival_rate,
+                          std::vector<double>& out) const override;
   [[nodiscard]] std::string name() const override { return "pr"; }
 };
 

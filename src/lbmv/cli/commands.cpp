@@ -714,10 +714,16 @@ int cmd_obs(const std::vector<std::string>& rest, std::ostream& out) {
 
   render_obs_dashboard(snap, out);
   std::uint64_t counted = 0;
+  std::uint64_t mech_rounds = 0;
+  std::uint64_t fast_rounds = 0;
+  std::uint64_t allocs_avoided = 0;
   for (const auto& [name, value] : snap.counters) {
     if (name.rfind("lbmv_server_completions_total{", 0) == 0) {
       counted += value;
     }
+    if (name == "lbmv_mech_rounds_total") mech_rounds = value;
+    if (name == "lbmv_mech_linear_fast_rounds_total") fast_rounds = value;
+    if (name == "lbmv_mech_allocs_avoided_total") allocs_avoided = value;
   }
   std::size_t measured = 0;
   for (const auto& round : merged.rounds) {
@@ -728,6 +734,9 @@ int cmd_obs(const std::vector<std::string>& rest, std::ostream& out) {
       << "cross-check: completion counters " << counted
       << (counted == measured ? " == " : " != ") << measured
       << " SystemMetrics total jobs\n"
+      << "fused kernels: " << fast_rounds << " of " << mech_rounds
+      << " mechanism rounds on the linear fast path, " << allocs_avoided
+      << " heap allocations avoided\n"
       << "trace: " << spans << " spans retained, "
       << obs::TraceRecorder::global().dropped() << " dropped";
   if (!trace_path.empty()) out << " -> " << trace_path;

@@ -1,5 +1,6 @@
 #include "lbmv/core/archer_tardos.h"
 
+#include "lbmv/core/batch.h"
 #include "lbmv/util/error.h"
 #include "lbmv/util/integrate.h"
 
@@ -33,24 +34,31 @@ double ArcherTardosMechanism::tail_integral_numeric(
 
 void ArcherTardosMechanism::fill_payments(
     const model::LatencyFamily& family, double arrival_rate,
-    const model::BidProfile& profile, const model::Allocation& x,
-    std::vector<AgentOutcome>& outcomes) const {
+    std::span<const double> bids, std::span<const double> /*executions*/,
+    const model::Allocation& x, double /*actual_latency*/,
+    double /*reported_latency*/, std::vector<AgentOutcome>& outcomes,
+    RoundWorkspace& ws) const {
   LBMV_REQUIRE(dynamic_cast<const model::LinearFamily*>(&family) != nullptr,
                "the Archer–Tardos closed form is derived for the linear "
                "family under PR allocation");
-  for (std::size_t i = 0; i < profile.size(); ++i) {
+  // s_i = sum_{j != i} 1/b_j = S - 1/b_i: one pass for S (or none, when the
+  // PR allocation pass already published it) replaces the former O(n^2)
+  // per-agent re-sum.
+  double inverse_bid_sum = ws.inverse_sum;
+  if (!ws.pr_closed_form) {
+    inverse_bid_sum = 0.0;
+    for (double b : bids) inverse_bid_sum += 1.0 / b;
+  }
+  const std::span<const double> rates = x.rates();
+  for (std::size_t i = 0; i < bids.size(); ++i) {
     auto& agent = outcomes[i];
-    double s = 0.0;
-    for (std::size_t j = 0; j < profile.size(); ++j) {
-      if (j != i) s += 1.0 / profile.bids[j];
-    }
-    const double work = x[i] * x[i];
+    const double s = inverse_bid_sum - 1.0 / bids[i];
+    const double work = rates[i] * rates[i];
     // Bookkeeping split mirrors the formula: b_i * w_i (the reported cost,
     // analogous to a compensation) plus the tail integral (the incentive
     // term).
-    agent.compensation = profile.bids[i] * work;
-    agent.bonus =
-        archer_tardos_tail_integral(profile.bids[i], s, arrival_rate);
+    agent.compensation = bids[i] * work;
+    agent.bonus = archer_tardos_tail_integral(bids[i], s, arrival_rate);
     agent.payment = agent.compensation + agent.bonus;
   }
 }

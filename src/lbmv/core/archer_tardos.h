@@ -53,9 +53,12 @@ class ArcherTardosMechanism final : public Mechanism {
 
  protected:
   void fill_payments(const model::LatencyFamily& family, double arrival_rate,
-                     const model::BidProfile& profile,
-                     const model::Allocation& x,
-                     std::vector<AgentOutcome>& outcomes) const override;
+                     std::span<const double> bids,
+                     std::span<const double> executions,
+                     const model::Allocation& x, double actual_latency,
+                     double reported_latency,
+                     std::vector<AgentOutcome>& outcomes,
+                     RoundWorkspace& ws) const override;
 };
 
 }  // namespace lbmv::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "lbmv/core/batch.h"
 #include "lbmv/obs/probes.h"
 #include "lbmv/util/error.h"
 #include "lbmv/util/thread_pool.h"
@@ -49,11 +50,16 @@ AuditReport TruthfulnessAuditor::audit_agent(const model::SystemConfig& config,
     const double bid = truth * bid_mult;
     const double execution = truth * exec_mult;
     if (context != nullptr) return context->utility(bid, execution);
-    model::BidProfile profile = base;
+    // Legacy full-mechanism path: one reusable workspace per worker thread,
+    // so sweeping the grid allocates only on each thread's first point.
+    RoundWorkspace& ws = RoundWorkspace::thread_local_instance();
+    model::BidProfile& profile = ws.scratch_profile;
+    profile.bids.assign(base.bids.begin(), base.bids.end());
+    profile.executions.assign(base.executions.begin(), base.executions.end());
     profile.bids[agent] = bid;
     profile.executions[agent] = execution;
-    const MechanismOutcome outcome = mechanism_->run(config, profile);
-    return outcome.agents[agent].utility;
+    mechanism_->run_into(config, profile, ws.scratch_outcome, ws);
+    return ws.scratch_outcome.agents[agent].utility;
   };
 
   AuditReport report;
@@ -132,13 +138,17 @@ CoalitionReport CoalitionAuditor::audit_pair(const model::SystemConfig& config,
 
   const model::BidProfile base = model::BidProfile::truthful(config);
   auto evaluate = [&](const CoalitionDeviation& d) {
-    model::BidProfile profile = base;
+    RoundWorkspace& ws = RoundWorkspace::thread_local_instance();
+    model::BidProfile& profile = ws.scratch_profile;
+    profile.bids.assign(base.bids.begin(), base.bids.end());
+    profile.executions.assign(base.executions.begin(), base.executions.end());
     profile.bids[agent_a] = config.true_value(agent_a) * d.bid_mult_a;
     profile.executions[agent_a] = config.true_value(agent_a) * d.exec_mult_a;
     profile.bids[agent_b] = config.true_value(agent_b) * d.bid_mult_b;
     profile.executions[agent_b] = config.true_value(agent_b) * d.exec_mult_b;
-    const MechanismOutcome outcome = mechanism_->run(config, profile);
-    return outcome.agents[agent_a].utility + outcome.agents[agent_b].utility;
+    mechanism_->run_into(config, profile, ws.scratch_outcome, ws);
+    return ws.scratch_outcome.agents[agent_a].utility +
+           ws.scratch_outcome.agents[agent_b].utility;
   };
 
   CoalitionReport report;

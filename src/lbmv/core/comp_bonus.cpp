@@ -1,5 +1,6 @@
 #include "lbmv/core/comp_bonus.h"
 
+#include "lbmv/core/batch.h"
 #include "lbmv/core/profile_context.h"
 #include "lbmv/util/error.h"
 
@@ -19,38 +20,35 @@ std::string CompBonusMechanism::name() const {
              : "comp-bonus(bid-compensation)";
 }
 
-void CompBonusMechanism::fill_payments(const model::LatencyFamily& family,
-                                       double arrival_rate,
-                                       const model::BidProfile& profile,
-                                       const model::Allocation& x,
-                                       std::vector<AgentOutcome>& outcomes)
-    const {
-  // Total latency actually measured, at the verified execution values.
-  const auto exec_latencies = [&] {
-    std::vector<std::unique_ptr<model::LatencyFunction>> fns;
-    fns.reserve(profile.size());
-    for (double e : profile.executions) fns.push_back(family.make(e));
-    return fns;
-  }();
-  const double actual_latency = model::total_latency(x, exec_latencies);
+void CompBonusMechanism::fill_payments(
+    const model::LatencyFamily& family, double arrival_rate,
+    std::span<const double> bids, std::span<const double> executions,
+    const model::Allocation& x, double actual_latency,
+    double /*reported_latency*/, std::vector<AgentOutcome>& outcomes,
+    RoundWorkspace& ws) const {
+  // All n leave-one-out optima in one batch call; on the paper's
+  // linear-family / PR-allocator configuration this reuses the inverse sum
+  // the allocation pass already accumulated.
+  leave_one_out_into_ws(family, arrival_rate, bids, ws);
 
-  // All n leave-one-out optima in one batch call: O(n) total for the PR
-  // closed form, and one reused scratch buffer (no per-agent profile
-  // copies) for generic allocators.
-  const std::vector<double> latency_without =
-      allocator().leave_one_out_latencies(family, profile.bids, arrival_rate);
-
-  for (std::size_t i = 0; i < profile.size(); ++i) {
+  const std::span<const double> rates = x.rates();
+  for (std::size_t i = 0; i < bids.size(); ++i) {
     auto& agent = outcomes[i];
+    const double xi = rates[i];
     // Compensation: the agent's own cost term, at the chosen basis value.
     const double basis_value = basis_ == CompensationBasis::kExecution
-                                   ? profile.executions[i]
-                                   : profile.bids[i];
-    agent.compensation =
-        (x[i] == 0.0) ? 0.0 : family.make(basis_value)->cost(x[i]);
+                                   ? executions[i]
+                                   : bids[i];
+    if (xi == 0.0) {
+      agent.compensation = 0.0;
+    } else if (ws.linear_fast) {
+      agent.compensation = basis_value * xi * xi;
+    } else {
+      agent.compensation = family.make(basis_value)->cost(xi);
+    }
 
     // Bonus: optimal latency without agent i minus the verified latency.
-    agent.bonus = latency_without[i] - actual_latency;
+    agent.bonus = ws.leave_one_out[i] - actual_latency;
 
     agent.payment = agent.compensation + agent.bonus;
   }

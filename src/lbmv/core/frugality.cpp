@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "lbmv/core/batch.h"
 #include "lbmv/util/error.h"
 
 namespace lbmv::core {
@@ -26,12 +27,16 @@ std::vector<FrugalitySweepPoint> frugality_arrival_sweep(
     std::span<const double> rates) {
   std::vector<FrugalitySweepPoint> points;
   points.reserve(rates.size());
+  // The truthful profile depends only on the types, so it is shared by the
+  // whole sweep; one hoisted workspace keeps the per-rate rounds
+  // allocation-free after the first.
+  RoundWorkspace ws;
+  ws.scratch_profile = model::BidProfile::truthful(config);
   for (double rate : rates) {
     LBMV_REQUIRE(rate > 0.0, "swept arrival rates must be positive");
-    const model::SystemConfig scaled = config.with_arrival_rate(rate);
-    const MechanismOutcome outcome =
-        mechanism.run(scaled, model::BidProfile::truthful(scaled));
-    points.push_back({rate, frugality_of(outcome)});
+    mechanism.run_into(config.family(), rate, ws.scratch_profile,
+                       ws.scratch_outcome, ws);
+    points.push_back({rate, frugality_of(ws.scratch_outcome)});
   }
   return points;
 }
@@ -40,21 +45,31 @@ std::vector<FrugalitySweepPoint> frugality_heterogeneity_sweep(
     const Mechanism& mechanism, std::size_t n, double arrival_rate,
     std::span<const double> spreads) {
   LBMV_REQUIRE(n >= 2, "need at least two computers");
-  std::vector<FrugalitySweepPoint> points;
-  points.reserve(spreads.size());
+  LBMV_REQUIRE(arrival_rate > 0.0, "arrival rate must be positive");
+  // Same family and arrival rate at every point, only the type vector
+  // varies: exactly the shape ProfileBatch was built for.  Each spread's
+  // truthful profile is one row of the batch.
+  ProfileBatch batch(n);
+  batch.reserve(spreads.size());
+  std::vector<double> types(n);
   for (double spread : spreads) {
     LBMV_REQUIRE(spread >= 1.0, "spread must be >= 1");
-    std::vector<double> types(n);
     for (std::size_t i = 0; i < n; ++i) {
       const double frac =
           (n == 1) ? 0.0
                    : static_cast<double>(i) / static_cast<double>(n - 1);
       types[i] = std::pow(spread, frac);  // geometric spacing in [1, spread]
     }
-    const model::SystemConfig config(std::move(types), arrival_rate);
-    const MechanismOutcome outcome =
-        mechanism.run(config, model::BidProfile::truthful(config));
-    points.push_back({spread, frugality_of(outcome)});
+    batch.push_back(types, types);  // truthful: bids == executions == types
+  }
+  const model::LinearFamily family;  // SystemConfig's default family
+  BatchOutcomes outcomes;
+  mechanism.run_batch(family, arrival_rate, batch, outcomes);
+
+  std::vector<FrugalitySweepPoint> points;
+  points.reserve(spreads.size());
+  for (std::size_t k = 0; k < spreads.size(); ++k) {
+    points.push_back({spreads[k], frugality_of(outcomes[k])});
   }
   return points;
 }

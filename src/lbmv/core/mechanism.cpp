@@ -3,8 +3,10 @@
 #include <cmath>
 
 #include "lbmv/alloc/pr_allocator.h"
+#include "lbmv/core/batch.h"
 #include "lbmv/obs/probes.h"
 #include "lbmv/util/error.h"
+#include "lbmv/util/thread_pool.h"
 
 namespace lbmv::core {
 
@@ -25,66 +27,195 @@ Mechanism::Mechanism(std::shared_ptr<const alloc::Allocator> allocator)
   LBMV_REQUIRE(allocator_ != nullptr, "mechanism requires an allocator");
 }
 
-MechanismOutcome Mechanism::run(const model::LatencyFamily& family,
-                                double arrival_rate,
-                                const model::BidProfile& profile) const {
-  LBMV_REQUIRE(profile.size() >= 2,
-               "mechanisms require at least two agents");
-  profile.validate(profile.size());
+void Mechanism::run_into(const model::LatencyFamily& family,
+                         double arrival_rate, std::span<const double> bids,
+                         std::span<const double> executions,
+                         MechanismOutcome& out, RoundWorkspace& ws) const {
+  const std::size_t n = bids.size();
+  LBMV_REQUIRE(n >= 2, "mechanisms require at least two agents");
+  LBMV_REQUIRE(executions.size() == n, "execution vector size mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    LBMV_REQUIRE(bids[i] > 0.0, "bids must be positive");
+    LBMV_REQUIRE(executions[i] > 0.0, "execution values must be positive");
+  }
   LBMV_REQUIRE(arrival_rate > 0.0, "arrival rate must be positive");
 
-  MechanismOutcome outcome;
-  outcome.allocation =
-      allocator_->allocate(family, profile.bids, arrival_rate);
+  // Classify the round once; payment rules read the flags off the workspace
+  // instead of repeating the dynamic_casts per agent.
+  ws.linear_fast =
+      dynamic_cast<const model::LinearFamily*>(&family) != nullptr;
+  ws.pr_closed_form = false;
+  ws.inverse_sum = 0.0;
 
-  const auto exec_latencies = [&] {
-    std::vector<std::unique_ptr<model::LatencyFunction>> fns;
-    fns.reserve(profile.size());
-    for (double e : profile.executions) fns.push_back(family.make(e));
-    return fns;
-  }();
-  const auto bid_latencies = [&] {
-    std::vector<std::unique_ptr<model::LatencyFunction>> fns;
-    fns.reserve(profile.size());
-    for (double b : profile.bids) fns.push_back(family.make(b));
-    return fns;
-  }();
+  // Recycle the previous outcome's rate plane instead of allocating a fresh
+  // vector: after the first round at this n, resize() is a no-op.
+  std::vector<double> rates = std::move(out.allocation).release();
+  rates.resize(n);
+  if (ws.linear_fast &&
+      dynamic_cast<const alloc::PRAllocator*>(allocator_.get()) != nullptr) {
+    // Fused PR solve: allocation, S, and L* from one pass over the bids.
+    const alloc::PrSolve solve =
+        alloc::pr_allocate_into(bids, arrival_rate, rates);
+    ws.pr_closed_form = true;
+    ws.inverse_sum = solve.inverse_sum;
+  } else {
+    allocator_->allocate_into(family, bids, arrival_rate, rates);
+  }
+  out.allocation = model::Allocation(std::move(rates));
+  const std::span<const double> x = out.allocation.rates();
 
-  outcome.actual_latency =
-      model::total_latency(outcome.allocation, exec_latencies);
-  outcome.reported_latency =
-      model::total_latency(outcome.allocation, bid_latencies);
-
-  outcome.agents.resize(profile.size());
-  for (std::size_t i = 0; i < profile.size(); ++i) {
-    auto& agent = outcome.agents[i];
-    agent.allocation = outcome.allocation[i];
-    const double cost = (agent.allocation == 0.0)
-                            ? 0.0
-                            : exec_latencies[i]->cost(agent.allocation);
-    agent.valuation = -cost;
+  out.agents.resize(n);
+  if (ws.linear_fast) {
+    // Fused linear fast path: every latency quantity is a closed form in
+    // t * x_i^2, so the scalar path's 2n LatencyFamily::make heap
+    // allocations (plus their virtual cost() dispatches) disappear.  Each
+    // cost term is (t*x)*x — bit-identical to the generic path's
+    // x * latency(x) = x*(t*x) — and both totals accumulate in index order,
+    // so run_into agrees with the historical run() to the last bit.
+    double actual = 0.0;
+    double reported = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double xi = x[i];
+      const double cost = executions[i] * xi * xi;
+      actual += cost;
+      reported += bids[i] * xi * xi;
+      auto& agent = out.agents[i];
+      agent.allocation = xi;
+      agent.valuation = -cost;
+    }
+    out.actual_latency = actual;
+    out.reported_latency = reported;
+  } else {
+    // Generic families: the function objects themselves must come from
+    // family.make (unavoidable heap traffic), but the owning planes live in
+    // the workspace so the per-round vector churn is gone.
+    ws.exec_fns.resize(n);
+    ws.bid_fns.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ws.exec_fns[i] = family.make(executions[i]);
+      ws.bid_fns[i] = family.make(bids[i]);
+    }
+    out.actual_latency = model::total_latency(out.allocation, ws.exec_fns);
+    out.reported_latency = model::total_latency(out.allocation, ws.bid_fns);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto& agent = out.agents[i];
+      agent.allocation = x[i];
+      const double cost =
+          (x[i] == 0.0) ? 0.0 : ws.exec_fns[i]->cost(x[i]);
+      agent.valuation = -cost;
+    }
   }
 
-  fill_payments(family, arrival_rate, profile, outcome.allocation,
-                outcome.agents);
+  fill_payments(family, arrival_rate, bids, executions, out.allocation,
+                out.actual_latency, out.reported_latency, out.agents, ws);
 
-  for (auto& agent : outcome.agents) {
+  for (auto& agent : out.agents) {
     agent.utility = agent.payment + agent.valuation;
   }
   if (obs::enabled()) {
     obs::MechProbes& probes = obs::MechProbes::get();
     probes.rounds.inc();
-    for (const auto& agent : outcome.agents) {
+    if (ws.linear_fast) {
+      probes.linear_fast_rounds.inc();
+      // The scalar path would have built 2n latency functions here plus n
+      // more in the payment rule's compensation terms.
+      probes.allocs_avoided.inc(3 * static_cast<std::uint64_t>(n));
+    }
+    for (const auto& agent : out.agents) {
       probes.round_payment.record(agent.payment);
       probes.round_bonus.record(agent.bonus);
     }
   }
+}
+
+void Mechanism::run_into(const model::LatencyFamily& family,
+                         double arrival_rate,
+                         const model::BidProfile& profile,
+                         MechanismOutcome& out, RoundWorkspace& ws) const {
+  profile.validate(profile.size());
+  run_into(family, arrival_rate, profile.bids, profile.executions, out, ws);
+}
+
+void Mechanism::run_into(const model::SystemConfig& config,
+                         const model::BidProfile& profile,
+                         MechanismOutcome& out, RoundWorkspace& ws) const {
+  run_into(config.family(), config.arrival_rate(), profile, out, ws);
+}
+
+MechanismOutcome Mechanism::run(const model::LatencyFamily& family,
+                                double arrival_rate,
+                                const model::BidProfile& profile) const {
+  MechanismOutcome outcome;
+  run_into(family, arrival_rate, profile, outcome,
+           RoundWorkspace::thread_local_instance());
   return outcome;
 }
 
 MechanismOutcome Mechanism::run(const model::SystemConfig& config,
                                 const model::BidProfile& profile) const {
   return run(config.family(), config.arrival_rate(), profile);
+}
+
+void Mechanism::run_batch(const model::LatencyFamily& family,
+                          double arrival_rate, const ProfileBatch& batch,
+                          BatchOutcomes& out,
+                          const BatchRunOptions& options) const {
+  const std::size_t count = batch.size();
+  out.outcomes.resize(count);
+  if (obs::enabled()) {
+    obs::MechProbes& probes = obs::MechProbes::get();
+    probes.batch_runs.inc();
+    probes.batch_size.record(static_cast<double>(count));
+  }
+  if (count == 0) return;
+  const auto body = [&](std::size_t b) {
+    run_into(family, arrival_rate, batch.bids(b), batch.executions(b),
+             out.outcomes[b], RoundWorkspace::thread_local_instance());
+  };
+  if (!options.parallel || count < 2) {
+    for (std::size_t b = 0; b < count; ++b) body(b);
+    return;
+  }
+  util::ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : util::ThreadPool::global();
+  pool.parallel_for(0, count, body, options.grain);
+}
+
+void Mechanism::run_batch(const model::LatencyFamily& family,
+                          double arrival_rate, const ProfileBatch& batch,
+                          BatchOutcomes& out) const {
+  run_batch(family, arrival_rate, batch, out, BatchRunOptions{});
+}
+
+void Mechanism::run_batch(const model::SystemConfig& config,
+                          const ProfileBatch& batch, BatchOutcomes& out,
+                          const BatchRunOptions& options) const {
+  run_batch(config.family(), config.arrival_rate(), batch, out, options);
+}
+
+void Mechanism::run_batch(const model::SystemConfig& config,
+                          const ProfileBatch& batch, BatchOutcomes& out) const {
+  run_batch(config.family(), config.arrival_rate(), batch, out,
+            BatchRunOptions{});
+}
+
+void Mechanism::leave_one_out_into_ws(const model::LatencyFamily& family,
+                                      double arrival_rate,
+                                      std::span<const double> bids,
+                                      RoundWorkspace& ws) const {
+  if (ws.pr_closed_form) {
+    ws.leave_one_out.resize(bids.size());
+    if (obs::enabled()) {
+      obs::MechProbes& probes = obs::MechProbes::get();
+      probes.loo_batches.inc();
+      probes.loo_batch_size.record(static_cast<double>(bids.size()));
+    }
+    alloc::pr_leave_one_out_from_sum(ws.inverse_sum, bids, arrival_rate,
+                                     ws.leave_one_out);
+    return;
+  }
+  allocator_->leave_one_out_into(family, bids, arrival_rate,
+                                 ws.leave_one_out);
 }
 
 namespace {

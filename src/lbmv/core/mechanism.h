@@ -16,6 +16,7 @@
 /// and the verified execution values.
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,11 @@
 #include "lbmv/model/system_config.h"
 
 namespace lbmv::core {
+
+class RoundWorkspace;    // batch.h
+class ProfileBatch;      // batch.h
+struct BatchOutcomes;    // batch.h
+struct BatchRunOptions;  // batch.h
 
 /// Economic outcome for a single agent in one mechanism round.
 struct AgentOutcome {
@@ -126,6 +132,48 @@ class Mechanism {
   [[nodiscard]] MechanismOutcome run(const model::SystemConfig& config,
                                      const model::BidProfile& profile) const;
 
+  /// Allocation-free round kernel: identical results to run() (bit-exact on
+  /// the linear family), writing into \p out and drawing every scratch plane
+  /// from \p ws.  A warm (out, ws) pair — one that has already seen this
+  /// agent count — performs zero heap allocations on the fused
+  /// linear-family fast path, and only the unavoidable LatencyFamily::make
+  /// calls elsewhere.  \p ws may be RoundWorkspace::thread_local_instance();
+  /// ws.scratch_profile / ws.scratch_outcome are never touched, so callers
+  /// may pass ws.scratch_outcome as \p out.
+  void run_into(const model::LatencyFamily& family, double arrival_rate,
+                std::span<const double> bids,
+                std::span<const double> executions, MechanismOutcome& out,
+                RoundWorkspace& ws) const;
+
+  /// run_into over a BidProfile (validates it like run()).
+  void run_into(const model::LatencyFamily& family, double arrival_rate,
+                const model::BidProfile& profile, MechanismOutcome& out,
+                RoundWorkspace& ws) const;
+
+  /// run_into reading family and arrival rate from a config.
+  void run_into(const model::SystemConfig& config,
+                const model::BidProfile& profile, MechanismOutcome& out,
+                RoundWorkspace& ws) const;
+
+  /// Run every profile of \p batch, writing outcome b into out[b].  Profiles
+  /// are fanned over a thread pool (per BatchRunOptions) with one reusable
+  /// workspace per worker thread; each worker writes only its own outcome
+  /// slots, so results are identical for any thread count and bit-exact
+  /// against a scalar loop of run() calls.
+  void run_batch(const model::LatencyFamily& family, double arrival_rate,
+                 const ProfileBatch& batch, BatchOutcomes& out,
+                 const BatchRunOptions& options) const;
+
+  /// run_batch with default options (parallel on the global pool).
+  void run_batch(const model::LatencyFamily& family, double arrival_rate,
+                 const ProfileBatch& batch, BatchOutcomes& out) const;
+
+  /// run_batch reading family and arrival rate from a config.
+  void run_batch(const model::SystemConfig& config, const ProfileBatch& batch,
+                 BatchOutcomes& out, const BatchRunOptions& options) const;
+  void run_batch(const model::SystemConfig& config, const ProfileBatch& batch,
+                 BatchOutcomes& out) const;
+
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Whether the payment rule observes execution values (a "mechanism with
@@ -157,12 +205,30 @@ class Mechanism {
 
  protected:
   /// Fill compensation / bonus / payment for every agent.  \p outcomes
-  /// arrives with allocation and valuation already set.
+  /// arrives with allocation and valuation already set, and the round's
+  /// latencies are precomputed: \p actual_latency is L(x, t~) and
+  /// \p reported_latency is L(x, b), so payment rules never re-derive them.
+  /// \p ws carries the round classification (ws.linear_fast,
+  /// ws.pr_closed_form + ws.inverse_sum) and, on the generic path, the
+  /// latency-function arenas ws.exec_fns / ws.bid_fns already built for this
+  /// round; rules may use ws.leave_one_out / ws.own_cost as scratch.
   virtual void fill_payments(const model::LatencyFamily& family,
                              double arrival_rate,
-                             const model::BidProfile& profile,
+                             std::span<const double> bids,
+                             std::span<const double> executions,
                              const model::Allocation& x,
-                             std::vector<AgentOutcome>& outcomes) const = 0;
+                             double actual_latency, double reported_latency,
+                             std::vector<AgentOutcome>& outcomes,
+                             RoundWorkspace& ws) const = 0;
+
+  /// Resolve all n leave-one-out optima into ws.leave_one_out.  Uses the
+  /// single-pass PR inverse sum published by run_into when valid (satellite
+  /// fix: S is accumulated once per round, not once per consumer), else the
+  /// allocator's batched solver.
+  void leave_one_out_into_ws(const model::LatencyFamily& family,
+                             double arrival_rate,
+                             std::span<const double> bids,
+                             RoundWorkspace& ws) const;
 
  private:
   std::shared_ptr<const alloc::Allocator> allocator_;

@@ -11,11 +11,10 @@ NoPaymentMechanism::NoPaymentMechanism(
     std::shared_ptr<const alloc::Allocator> allocator)
     : Mechanism(std::move(allocator)) {}
 
-void NoPaymentMechanism::fill_payments(const model::LatencyFamily&, double,
-                                       const model::BidProfile&,
-                                       const model::Allocation&,
-                                       std::vector<AgentOutcome>& outcomes)
-    const {
+void NoPaymentMechanism::fill_payments(
+    const model::LatencyFamily&, double, std::span<const double>,
+    std::span<const double>, const model::Allocation&, double, double,
+    std::vector<AgentOutcome>& outcomes, RoundWorkspace&) const {
   for (auto& agent : outcomes) {
     agent.compensation = 0.0;
     agent.bonus = 0.0;

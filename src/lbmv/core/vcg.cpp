@@ -1,5 +1,6 @@
 #include "lbmv/core/vcg.h"
 
+#include "lbmv/core/batch.h"
 #include "lbmv/core/profile_context.h"
 
 namespace lbmv::core {
@@ -11,38 +12,43 @@ VcgMechanism::VcgMechanism(std::shared_ptr<const alloc::Allocator> allocator)
 
 void VcgMechanism::fill_payments(const model::LatencyFamily& family,
                                  double arrival_rate,
-                                 const model::BidProfile& profile,
+                                 std::span<const double> bids,
+                                 std::span<const double> /*executions*/,
                                  const model::Allocation& x,
-                                 std::vector<AgentOutcome>& outcomes) const {
-  // All terms below use the *bids*: VCG never sees execution values.
-  const auto bid_latencies = [&] {
-    std::vector<std::unique_ptr<model::LatencyFunction>> fns;
-    fns.reserve(profile.size());
-    for (double b : profile.bids) fns.push_back(family.make(b));
-    return fns;
-  }();
-
-  // Everybody's reported cost once (O(n)); each agent's "others" term is
-  // then the total minus its own contribution instead of an O(n) re-sum.
-  std::vector<double> own_cost(profile.size());
-  double total_reported_cost = 0.0;
-  for (std::size_t j = 0; j < profile.size(); ++j) {
-    own_cost[j] = (x[j] == 0.0) ? 0.0 : bid_latencies[j]->cost(x[j]);
-    total_reported_cost += own_cost[j];
+                                 double /*actual_latency*/,
+                                 double reported_latency,
+                                 std::vector<AgentOutcome>& outcomes,
+                                 RoundWorkspace& ws) const {
+  // All terms below use the *bids*: VCG never sees execution values.  The
+  // engine already evaluated L(x, b) = sum_j c_j(x; b_j) with the same
+  // per-term forms and summation order, so reported_latency IS the total
+  // reported cost; each agent's "others" term is the total minus its own
+  // contribution instead of an O(n) re-sum.
+  const std::size_t n = bids.size();
+  const std::span<const double> rates = x.rates();
+  ws.own_cost.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double xj = rates[j];
+    if (xj == 0.0) {
+      ws.own_cost[j] = 0.0;
+    } else if (ws.linear_fast) {
+      ws.own_cost[j] = bids[j] * xj * xj;
+    } else {
+      ws.own_cost[j] = ws.bid_fns[j]->cost(xj);
+    }
   }
-  const std::vector<double> latency_without =
-      allocator().leave_one_out_latencies(family, profile.bids, arrival_rate);
+  leave_one_out_into_ws(family, arrival_rate, bids, ws);
 
-  for (std::size_t i = 0; i < profile.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     auto& agent = outcomes[i];
-    const double others_cost = total_reported_cost - own_cost[i];
+    const double others_cost = reported_latency - ws.own_cost[i];
 
     // Clarke pivot; for bookkeeping we expose the pivot as "bonus" and the
     // agent's own reported cost as "compensation", mirroring the fact that
     // P_i = c_i(b) + (L_{-i} - L(b)).
-    agent.compensation = own_cost[i];
-    agent.bonus = latency_without[i] - total_reported_cost;
-    agent.payment = latency_without[i] - others_cost;
+    agent.compensation = ws.own_cost[i];
+    agent.bonus = ws.leave_one_out[i] - reported_latency;
+    agent.payment = ws.leave_one_out[i] - others_cost;
   }
 }
 

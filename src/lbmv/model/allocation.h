@@ -38,6 +38,11 @@ class Allocation {
   /// Allocation over the same computers with computer \p i removed.
   [[nodiscard]] Allocation without(std::size_t i) const;
 
+  /// Steal the rate vector, leaving this allocation empty.  Hot `_into`
+  /// paths use this to recycle the plane's capacity across rounds instead
+  /// of allocating a fresh vector per call.
+  [[nodiscard]] std::vector<double> release() && { return std::move(rates_); }
+
  private:
   std::vector<double> rates_;
 };

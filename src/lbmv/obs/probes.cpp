@@ -29,10 +29,14 @@ MechProbes& MechProbes::get() {
     Registry& r = Registry::global();
     MechProbes p;
     p.rounds = r.counter("lbmv_mech_rounds_total");
+    p.batch_runs = r.counter("lbmv_mech_batch_runs_total");
+    p.linear_fast_rounds = r.counter("lbmv_mech_linear_fast_rounds_total");
+    p.allocs_avoided = r.counter("lbmv_mech_allocs_avoided_total");
     p.audit_evaluations = r.counter("lbmv_mech_audit_evaluations_total");
     p.loo_batches = r.counter("lbmv_mech_leave_one_out_batches_total");
     p.round_payment = r.histogram("lbmv_mech_round_payment");
     p.round_bonus = r.histogram("lbmv_mech_round_bonus");
+    p.batch_size = r.histogram("lbmv_mech_batch_size");
     p.loo_batch_size = r.histogram("lbmv_mech_leave_one_out_batch_size");
     return p;
   }();

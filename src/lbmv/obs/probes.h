@@ -17,7 +17,11 @@
 ///     lbmv_source_jobs_total                  jobs emitted by JobSource
 ///     lbmv_server_arrivals_total{server=...}  per-server submissions
 ///     lbmv_server_completions_total{server=...}
-///     lbmv_mech_rounds_total                  Mechanism::run calls
+///     lbmv_mech_rounds_total                  mechanism rounds (run/run_into)
+///     lbmv_mech_batch_runs_total              Mechanism::run_batch calls
+///     lbmv_mech_linear_fast_rounds_total      rounds on the fused linear path
+///     lbmv_mech_allocs_avoided_total          heap allocations the fused
+///                                             path skipped vs the scalar one
 ///     lbmv_mech_audit_evaluations_total       audit grid points evaluated
 ///     lbmv_mech_leave_one_out_batches_total   leave-one-out batch solves
 ///     lbmv_pool_tasks_total                   thread-pool tasks executed
@@ -39,6 +43,7 @@
 ///     lbmv_server_waiting_seconds{server=...}  completed-job waiting time
 ///     lbmv_mech_round_payment       per-agent payment per round
 ///     lbmv_mech_round_bonus         per-agent bonus per round
+///     lbmv_mech_batch_size          profiles per run_batch call
 ///     lbmv_mech_leave_one_out_batch_size
 ///     lbmv_pool_chunk_size          parallel_for grain sizes
 ///     lbmv_strategy_best_response_round_seconds  wall time per dynamics round
@@ -65,10 +70,14 @@ struct SimProbes {
 /// Mechanism, audit, and leave-one-out payment engine.
 struct MechProbes {
   Counter rounds;
+  Counter batch_runs;
+  Counter linear_fast_rounds;
+  Counter allocs_avoided;
   Counter audit_evaluations;
   Counter loo_batches;
   Histogram round_payment;
   Histogram round_bonus;
+  Histogram batch_size;
   Histogram loo_batch_size;
 
   static MechProbes& get();

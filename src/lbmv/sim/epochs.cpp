@@ -5,6 +5,7 @@
 #include <deque>
 
 #include "lbmv/alloc/pr_allocator.h"
+#include "lbmv/core/batch.h"
 #include "lbmv/util/error.h"
 #include "lbmv/util/rng.h"
 
@@ -43,13 +44,16 @@ EpochReport run_epochs(const core::Mechanism& mechanism,
   report.cumulative_utility.assign(n, 0.0);
   report.records.reserve(static_cast<std::size_t>(options.epochs));
   double efficiency_sum = 0.0;
+  // One workspace and profile for the whole horizon: each epoch's round
+  // reuses the previous epoch's scratch planes instead of reallocating.
+  core::RoundWorkspace ws;
 
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     // Bid profile: lagged true values; execution at the *current* speed
     // (a machine cannot execute at a speed it no longer has; if its
     // current speed is *lower* than bid, that's the reality verification
     // observes; if higher, it simply runs at capacity).
-    model::BidProfile profile;
+    model::BidProfile& profile = ws.scratch_profile;
     profile.bids.resize(n);
     profile.executions.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -63,7 +67,7 @@ EpochReport run_epochs(const core::Mechanism& mechanism,
                                      initial_config.family_ptr());
     EpochRecord record;
     record.true_values = current;
-    record.outcome = mechanism.run(config, profile);
+    mechanism.run_into(config, profile, record.outcome, ws);
     record.optimal_latency = mechanism.allocator().optimal_latency(
         config.family(), current, config.arrival_rate());
     record.efficiency =

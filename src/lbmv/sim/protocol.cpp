@@ -3,6 +3,7 @@
 #include <cmath>
 #include <memory>
 
+#include "lbmv/core/batch.h"
 #include "lbmv/obs/probes.h"
 #include "lbmv/obs/trace.h"
 #include "lbmv/sim/job_source.h"
@@ -98,9 +99,11 @@ RoundReport VerifiedProtocol::run_round(const model::SystemConfig& config,
   }
 
   // Step 5: payments (n messages) — at the estimates, and at the paper's
-  // oracle values for comparison.
-  report.outcome = mechanism_->run(config, verified);
-  report.oracle_outcome = mechanism_->run(config, intents);
+  // oracle values for comparison.  Both rounds share this thread's reusable
+  // workspace, so replication loops stop allocating per round.
+  core::RoundWorkspace& ws = core::RoundWorkspace::thread_local_instance();
+  mechanism_->run_into(config, verified, report.outcome, ws);
+  mechanism_->run_into(config, intents, report.oracle_outcome, ws);
   report.messages += n;
   return report;
 }

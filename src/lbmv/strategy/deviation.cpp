@@ -46,11 +46,13 @@ double DeviationEvaluator::utility(std::size_t agent, double bid,
   if (context_ != nullptr) return context_->utility(agent, bid, execution);
 
   // Fallback: one full mechanism run against the scratch buffer, with the
-  // deviated entries restored afterwards — no per-call profile copy.
+  // deviated entries restored afterwards — no per-call profile copy, and the
+  // round itself draws every plane from the evaluator's workspace.
   scratch_.bids[agent] = bid;
   scratch_.executions[agent] = execution;
-  const double utility =
-      mechanism_->run(*family_, arrival_rate_, scratch_).agents[agent].utility;
+  mechanism_->run_into(*family_, arrival_rate_, scratch_, ws_.scratch_outcome,
+                       ws_);
+  const double utility = ws_.scratch_outcome.agents[agent].utility;
   scratch_.bids[agent] = profile_.bids[agent];
   scratch_.executions[agent] = profile_.executions[agent];
   return utility;
@@ -78,12 +80,14 @@ void DeviationEvaluator::outcome_into(core::MechanismOutcome& out) const {
     context_->outcome_into(out);
     return;
   }
-  out = mechanism_->run(*family_, arrival_rate_, profile_);
+  mechanism_->run_into(*family_, arrival_rate_, profile_, out, ws_);
 }
 
 double DeviationEvaluator::actual_latency() const {
   if (context_ != nullptr) return context_->actual_latency();
-  return mechanism_->run(*family_, arrival_rate_, profile_).actual_latency;
+  mechanism_->run_into(*family_, arrival_rate_, profile_, ws_.scratch_outcome,
+                       ws_);
+  return ws_.scratch_outcome.actual_latency;
 }
 
 const model::BidProfile& DeviationEvaluator::profile() const {

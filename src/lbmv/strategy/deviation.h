@@ -19,6 +19,7 @@
 
 #include <memory>
 
+#include "lbmv/core/batch.h"
 #include "lbmv/core/mechanism.h"
 #include "lbmv/model/bids.h"
 #include "lbmv/model/system_config.h"
@@ -81,6 +82,10 @@ class DeviationEvaluator {
   std::unique_ptr<core::ProfileUtilityContext> context_;  ///< fast path
   model::BidProfile profile_;           ///< committed profile (fallback path)
   mutable model::BidProfile scratch_;   ///< fallback deviation buffer
+  /// Fallback round workspace: every full mechanism run on the naive path
+  /// reuses these planes (and ws_.scratch_outcome), so even the baseline is
+  /// allocation-free per query after warm-up.
+  mutable core::RoundWorkspace ws_;
 };
 
 }  // namespace lbmv::strategy

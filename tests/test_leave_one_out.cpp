@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "lbmv/alloc/convex_allocator.h"
@@ -182,6 +183,55 @@ TEST(LeaveOneOut, RequiresAtLeastTwoComputers) {
       lbmv::util::PreconditionError);
   EXPECT_THROW((void)lbmv::alloc::pr_leave_one_out_latencies(one, 10.0),
                lbmv::util::PreconditionError);
+}
+
+TEST(LeaveOneOut, CatastrophicCancellationIsDiagnosedNotSilent) {
+  // One agent a thousand billion times faster than the rest combined: the
+  // closed form's denominator S - 1/t_i cancels to a value carrying no
+  // correct digits.  The seed formulation silently returned that noise as
+  // L_{-i}; the kernel now refuses with a diagnostic naming the agent.
+  const std::vector<double> dominated{1e-12, 1.0};
+  EXPECT_THROW((void)lbmv::alloc::pr_leave_one_out_latencies(dominated, 10.0),
+               lbmv::util::PreconditionError);
+  try {
+    (void)lbmv::alloc::pr_leave_one_out_latencies(dominated, 10.0);
+    FAIL() << "expected PreconditionError";
+  } catch (const lbmv::util::PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("numerically unresolvable"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("agent 0"), std::string::npos) << what;
+  }
+}
+
+TEST(LeaveOneOut, ExactCancellationToInfinityIsAlsoCaught) {
+  // 1/1e300 underflows against S = 1e300, so S - 1/t_0 is exactly zero and
+  // the seed's "closed form" returned +infinity for agent 0's subsystem.
+  const std::vector<double> degenerate{1e-300, 1e300};
+  EXPECT_THROW(
+      (void)lbmv::alloc::pr_leave_one_out_latencies(degenerate, 10.0),
+      lbmv::util::PreconditionError);
+}
+
+TEST(LeaveOneOut, WideButResolvableSpreadStillSolves) {
+  // Six orders of magnitude between fastest and slowest stays well inside
+  // the relative-gap guard and must agree with the per-agent reference.
+  const LinearFamily family;
+  const PRAllocator allocator;
+  BidProfile profile;
+  profile.bids = {1e-3, 1.0, 1e3};
+  profile.executions = profile.bids;
+  const auto closed =
+      lbmv::alloc::pr_leave_one_out_latencies(profile.bids, 5.0);
+  const auto reference =
+      per_agent_leave_one_out(allocator, family, profile, 5.0);
+  ASSERT_EQ(closed.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(std::isfinite(closed[i])) << "agent " << i;
+    // The i = 0 subsystem loses ~3 digits to the (guarded) cancellation,
+    // which still leaves 1e-9 relative agreement with the direct re-solve.
+    expect_rel_near(closed[i], reference[i], 1e-9, "L_{-i}", i);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -34,9 +34,16 @@
 // across all four mechanisms including boundary bids) whose failure makes
 // the runner exit non-zero.
 //
+// plus a `batch_round_throughput` section for the allocation-free batched
+// round kernels (DESIGN.md §11): rounds/sec through the preserved seed
+// formulation (fresh allocations every round), the current scalar run()
+// loop, and ProfileBatch::run_batch serial/parallel, with a differential
+// cross-check against the seed formulation that also gates the exit code.
+//
 // `--smoke` shrinks every workload (CI-sized: n = 64, short timing
 // windows, sim/obs sections skipped) while still emitting the
-// strategy_throughput section and running the full cross-check.
+// strategy_throughput and batch_round_throughput sections and running the
+// full cross-checks.
 
 #include <chrono>
 #include <cmath>
@@ -50,6 +57,7 @@
 
 #include "lbmv/alloc/pr_allocator.h"
 #include "lbmv/core/audit.h"
+#include "lbmv/core/batch.h"
 #include "lbmv/core/comp_bonus.h"
 #include "lbmv/model/bids.h"
 #include "lbmv/model/system_config.h"
@@ -219,6 +227,77 @@ double stack_events_per_sec() {
       },
       0.5, 3);
   return static_cast<double>(events) / seconds;
+}
+
+// ---- batch round workloads -------------------------------------------------
+
+/// Faithful reproduction of the seed comp-bonus round (the pre-batch-kernel
+/// Mechanism::run + CompBonusMechanism::fill_payments): a fresh allocation,
+/// three freshly heap-allocated vectors of per-agent latency functions plus
+/// one make() per agent for the compensation basis, and a fresh
+/// leave-one-out vector — every call.  Kept here, like the audit/sim legacy
+/// baselines, so batch_round_throughput measures its speedup in the same
+/// run and cross-checks the kernels against the original formulation.
+lbmv::core::MechanismOutcome seed_comp_bonus_round(
+    const lbmv::model::LatencyFamily& family,
+    const lbmv::alloc::Allocator& allocator, double arrival_rate,
+    const lbmv::model::BidProfile& profile) {
+  lbmv::core::MechanismOutcome outcome;
+  outcome.allocation = allocator.allocate(family, profile.bids, arrival_rate);
+  const auto make_fns = [&](const std::vector<double>& thetas) {
+    std::vector<std::unique_ptr<lbmv::model::LatencyFunction>> fns;
+    fns.reserve(thetas.size());
+    for (double theta : thetas) fns.push_back(family.make(theta));
+    return fns;
+  };
+  const auto exec_fns = make_fns(profile.executions);
+  const auto bid_fns = make_fns(profile.bids);
+  outcome.actual_latency =
+      lbmv::model::total_latency(outcome.allocation, exec_fns);
+  outcome.reported_latency =
+      lbmv::model::total_latency(outcome.allocation, bid_fns);
+  // fill_payments rebuilt the execution latencies for its own actual-latency
+  // term; reproduce that extra pass too.
+  const auto payment_exec_fns = make_fns(profile.executions);
+  const double actual =
+      lbmv::model::total_latency(outcome.allocation, payment_exec_fns);
+  const std::vector<double> latency_without =
+      allocator.leave_one_out_latencies(family, profile.bids, arrival_rate);
+  outcome.agents.resize(profile.size());
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    auto& agent = outcome.agents[i];
+    agent.allocation = outcome.allocation[i];
+    const double cost = (agent.allocation == 0.0)
+                            ? 0.0
+                            : exec_fns[i]->cost(agent.allocation);
+    agent.valuation = -cost;
+    agent.compensation =
+        (agent.allocation == 0.0)
+            ? 0.0
+            : family.make(profile.executions[i])->cost(agent.allocation);
+    agent.bonus = latency_without[i] - actual;
+    agent.payment = agent.compensation + agent.bonus;
+    agent.utility = agent.payment + agent.valuation;
+  }
+  return outcome;
+}
+
+/// Relative difference between two outcomes across every per-agent field.
+double outcome_max_rel_err(const lbmv::core::MechanismOutcome& a,
+                           const lbmv::core::MechanismOutcome& b) {
+  const auto rel = [](double x, double y) {
+    return std::fabs(x - y) / std::max(1.0, std::fabs(y));
+  };
+  double err = rel(a.actual_latency, b.actual_latency);
+  err = std::max(err, rel(a.reported_latency, b.reported_latency));
+  for (std::size_t i = 0; i < a.agents.size(); ++i) {
+    err = std::max(err, rel(a.allocation[i], b.allocation[i]));
+    err = std::max(err, rel(a.agents[i].compensation, b.agents[i].compensation));
+    err = std::max(err, rel(a.agents[i].bonus, b.agents[i].bonus));
+    err = std::max(err, rel(a.agents[i].payment, b.agents[i].payment));
+    err = std::max(err, rel(a.agents[i].utility, b.agents[i].utility));
+  }
+  return err;
 }
 
 /// Replicated protocol rounds per second on a pool of `threads` workers.
@@ -566,6 +645,119 @@ int main(int argc, char** argv) {
               << (cross_check_pass ? "pass" : "FAIL") << "\n";
   }
 
+  // Batched round kernels (DESIGN.md §11): rounds/sec through the seed
+  // formulation (fresh allocation, per-agent heap-allocated latency
+  // functions and a fresh leave-one-out vector each round — reproduced
+  // above as seed_comp_bonus_round), the current scalar run() loop, and
+  // run_batch serial/parallel over the same profiles, plus a differential
+  // cross-check of the fused kernels against the seed formulation that
+  // gates the exit code.
+  JsonValue::Object batch_round_throughput;
+  bool batch_check_pass = true;
+  {
+    const std::size_t profiles = smoke ? 64 : 256;
+    const lbmv::core::CompBonusMechanism mechanism;
+    const double tmin = smoke ? 0.05 : 0.3;
+    const int treps = smoke ? 2 : 3;
+    JsonValue::Array batch_series;
+    double max_err = 0.0;
+    double best_speedup_n256 = 0.0;
+    for (std::size_t n : sizes) {
+      lbmv::core::ProfileBatch batch(n);
+      batch.reserve(profiles);
+      for (std::size_t b = 0; b < profiles; ++b) {
+        const auto bids = random_types(n, 1000 + b);
+        auto execs = bids;
+        for (double& e : execs) e *= 1.25;
+        batch.push_back(bids, execs);
+      }
+      std::vector<lbmv::model::BidProfile> rounds(profiles);
+      for (std::size_t b = 0; b < profiles; ++b) {
+        batch.extract_into(b, rounds[b]);
+      }
+
+      const double seed_secs = seconds_per_call(
+          [&] {
+            for (const auto& p : rounds) {
+              (void)seed_comp_bonus_round(family, allocator, arrival_rate, p);
+            }
+          },
+          tmin, treps);
+      const double run_secs = seconds_per_call(
+          [&] {
+            for (const auto& p : rounds) {
+              (void)mechanism.run(family, arrival_rate, p);
+            }
+          },
+          tmin, treps);
+      lbmv::core::BatchOutcomes outcomes;
+      lbmv::core::BatchRunOptions serial_options;
+      serial_options.parallel = false;
+      const double serial_secs = seconds_per_call(
+          [&] {
+            mechanism.run_batch(family, arrival_rate, batch, outcomes,
+                                serial_options);
+          },
+          tmin, treps);
+      const double parallel_secs = seconds_per_call(
+          [&] { mechanism.run_batch(family, arrival_rate, batch, outcomes); },
+          tmin, treps);
+
+      // Differential cross-check: the fused kernels are bit-exact against
+      // the seed formulation on the linear family by construction; the
+      // gate leaves roundoff headroom for other platforms.
+      mechanism.run_batch(family, arrival_rate, batch, outcomes);
+      for (std::size_t b = 0; b < profiles; ++b) {
+        const auto reference = seed_comp_bonus_round(family, allocator,
+                                                     arrival_rate, rounds[b]);
+        max_err = std::max(max_err,
+                           outcome_max_rel_err(outcomes[b], reference));
+      }
+
+      const double count = static_cast<double>(profiles);
+      const double serial_speedup = seed_secs / serial_secs;
+      const double parallel_speedup = seed_secs / parallel_secs;
+      JsonValue::Object entry;
+      entry["n"] = static_cast<double>(n);
+      entry["profiles"] = count;
+      entry["seed_rounds_per_sec"] = count / seed_secs;
+      entry["run_rounds_per_sec"] = count / run_secs;
+      entry["batch_serial_rounds_per_sec"] = count / serial_secs;
+      entry["batch_parallel_rounds_per_sec"] = count / parallel_secs;
+      entry["serial_speedup_vs_seed"] = serial_speedup;
+      entry["parallel_speedup_vs_seed"] = parallel_speedup;
+      batch_series.emplace_back(std::move(entry));
+      if (n == 256) {
+        best_speedup_n256 = std::max(serial_speedup, parallel_speedup);
+      }
+      std::cout << "batch_round n=" << n << ": seed " << count / seed_secs
+                << " rounds/s, run() " << count / run_secs
+                << ", batch serial " << count / serial_secs << " ("
+                << serial_speedup << "x), batch parallel "
+                << count / parallel_secs << " (" << parallel_speedup
+                << "x)\n";
+    }
+    if (max_err >= 1e-9) batch_check_pass = false;
+    batch_round_throughput["series"] = std::move(batch_series);
+    batch_round_throughput["differential_max_rel_err"] = max_err;
+    batch_round_throughput["cross_check_pass"] = batch_check_pass;
+    if (best_speedup_n256 > 0.0) {
+      batch_round_throughput["best_speedup_n256"] = best_speedup_n256;
+      derived["batch_round_speedup_n256"] = best_speedup_n256;
+    }
+    batch_round_throughput["hardware_concurrency"] =
+        static_cast<double>(std::thread::hardware_concurrency());
+    batch_round_throughput["note"] =
+        "seed_rounds_per_sec re-runs the original per-round formulation "
+        "(fresh allocation, per-agent heap-allocated latency functions, "
+        "fresh leave-one-out vector) in this same process; run() now rides "
+        "the fused kernel with a thread-local workspace, so its rate "
+        "tracks batch_serial; parallel scaling is bounded by "
+        "hardware_concurrency";
+    std::cout << "batch kernels cross-check: max rel err " << max_err
+              << " -> " << (batch_check_pass ? "pass" : "FAIL") << "\n";
+  }
+
   JsonValue::Object doc;
   doc["schema"] = "lbmv-bench-perf-v1";
   doc["arrival_rate"] = arrival_rate;
@@ -577,6 +769,7 @@ int main(int argc, char** argv) {
     doc["obs_overhead"] = std::move(obs_overhead);
   }
   doc["strategy_throughput"] = std::move(strategy_throughput);
+  doc["batch_round_throughput"] = std::move(batch_round_throughput);
 
   std::ofstream out(output);
   if (!out) {
@@ -587,6 +780,10 @@ int main(int argc, char** argv) {
   std::cout << "wrote " << output << "\n";
   if (!cross_check_pass) {
     std::cerr << "strategy utilities cross-check FAILED\n";
+    return 1;
+  }
+  if (!batch_check_pass) {
+    std::cerr << "batch round kernels cross-check FAILED\n";
     return 1;
   }
   return 0;
