@@ -20,9 +20,11 @@
 #include "lbmv/core/audit.h"
 #include "lbmv/core/batch.h"
 #include "lbmv/core/comp_bonus.h"
+#include "lbmv/core/simd_round.h"
 #include "lbmv/dist/protocols.h"
 #include "lbmv/game/wardrop.h"
 #include "lbmv/model/bids.h"
+#include "lbmv/model/latency.h"
 #include "lbmv/model/system_config.h"
 #include "lbmv/obs/obs.h"
 #include "lbmv/sim/engine.h"
@@ -138,6 +140,77 @@ void BM_RunInto(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_RunInto)->RangeMultiplier(4)->Range(4, 4096)->Complexity();
+
+void BM_SingleRoundScalar(benchmark::State& state) {
+  // The historical scalar kernels, pinned explicitly: the same-run baseline
+  // the vectorized engine benchmarks below are measured against.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const lbmv::model::LinearFamily family;
+  const auto bids = random_types(n, 7);
+  const lbmv::core::CompBonusMechanism mechanism;
+  lbmv::core::RoundWorkspace ws;
+  lbmv::core::MechanismOutcome out;
+  const auto entry = lbmv::core::kernel_backend();
+  lbmv::core::set_kernel_backend(lbmv::core::KernelBackend::kScalar);
+  for (auto _ : state) {
+    mechanism.run_into(family, 20.0, bids, bids, out, ws);
+    benchmark::DoNotOptimize(out.actual_latency);
+  }
+  lbmv::core::set_kernel_backend(entry);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SingleRoundScalar)
+    ->RangeMultiplier(4)
+    ->Range(1024, 1 << 20)
+    ->Complexity();
+
+void BM_SingleRoundSimd(benchmark::State& state) {
+  // The vectorized engine, serial (DESIGN.md §12): two blocked SIMD passes,
+  // closed-form totals, transposed publish.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const lbmv::model::LinearFamily family;
+  const auto bids = random_types(n, 7);
+  const lbmv::core::CompBonusMechanism mechanism;
+  lbmv::core::RoundWorkspace ws;
+  lbmv::core::MechanismOutcome out;
+  const auto entry = lbmv::core::kernel_backend();
+  lbmv::core::set_kernel_backend(lbmv::core::KernelBackend::kVectorized);
+  const lbmv::core::RoundOptions serial{1, nullptr};
+  for (auto _ : state) {
+    mechanism.run_into(family, 20.0, bids, bids, out, ws, serial);
+    benchmark::DoNotOptimize(out.actual_latency);
+  }
+  lbmv::core::set_kernel_backend(entry);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SingleRoundSimd)
+    ->RangeMultiplier(4)
+    ->Range(1024, 1 << 20)
+    ->Complexity();
+
+void BM_SingleRoundSimdSharded(benchmark::State& state) {
+  // The vectorized engine with its agent axis fanned over the global pool
+  // (auto shard count).  Bit-identical to the serial run by construction.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const lbmv::model::LinearFamily family;
+  const auto bids = random_types(n, 7);
+  const lbmv::core::CompBonusMechanism mechanism;
+  lbmv::core::RoundWorkspace ws;
+  lbmv::core::MechanismOutcome out;
+  const auto entry = lbmv::core::kernel_backend();
+  lbmv::core::set_kernel_backend(lbmv::core::KernelBackend::kVectorized);
+  const lbmv::core::RoundOptions sharded{0, nullptr};
+  for (auto _ : state) {
+    mechanism.run_into(family, 20.0, bids, bids, out, ws, sharded);
+    benchmark::DoNotOptimize(out.actual_latency);
+  }
+  lbmv::core::set_kernel_backend(entry);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SingleRoundSimdSharded)
+    ->RangeMultiplier(4)
+    ->Range(1024, 1 << 20)
+    ->Complexity();
 
 void BM_BatchRound(benchmark::State& state) {
   // SoA batch fan-out: 64 profiles per call, fanned over the global pool

@@ -17,13 +17,6 @@ double inverse_sum(std::span<const double> types) {
   return s;
 }
 
-/// Minimum fraction of S the leave-one-out denominator S - 1/t_i must
-/// retain.  Below this the subtraction has cancelled ~9 decimal digits and
-/// the accumulated roundoff of S (itself O(n * eps * S)) dominates the
-/// result, so the "closed form" would return noise — or, when 1/t_i absorbs
-/// S entirely, infinity.
-constexpr double kLeaveOneOutMinRelativeGap = 1e-9;
-
 }  // namespace
 
 PrSolve pr_allocate_into(std::span<const double> types, double arrival_rate,

@@ -20,6 +20,14 @@
 
 namespace lbmv::alloc {
 
+/// Minimum fraction of S = sum_j 1/t_j the leave-one-out denominator
+/// S - 1/t_i must retain.  Below this the subtraction has cancelled ~9
+/// decimal digits and the accumulated roundoff of S (itself O(n * eps * S))
+/// dominates the result, so the "closed form" would return noise — or, when
+/// 1/t_i absorbs S entirely, infinity.  Shared between the scalar kernel and
+/// the vectorized guard mask (pr_simd.h) so both reject the same profiles.
+inline constexpr double kLeaveOneOutMinRelativeGap = 1e-9;
+
 /// Everything the PR closed form derives from one pass over the types.
 /// Returned by pr_allocate_into so callers that need the allocation, the
 /// optimum, and the leave-one-out vector never accumulate S twice.

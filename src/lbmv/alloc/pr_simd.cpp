@@ -1,0 +1,125 @@
+#include "lbmv/alloc/pr_simd.h"
+
+#include "lbmv/util/simd.h"
+
+namespace lbmv::alloc::simd {
+
+namespace v = lbmv::util::simd;
+using v::DVec;
+
+// Every kernel below walks its block in the same shape: 8-agent steps with
+// two independent accumulators (hiding the 4-cycle add latency), one
+// leftover full 4-vector folded into the first accumulator, the fixed
+// horizontal sum, then a scalar tail in index order.  The shape IS the
+// numeric contract — see the header — so keep the four loops structurally
+// in lock-step when editing.
+
+ReciprocalPartial pr_reciprocal_block(std::span<const double> bids,
+                                      std::span<const double> executions,
+                                      std::span<double> inv_out) {
+  const std::size_t n = bids.size();
+  const DVec zero = v::zero();
+  const DVec one = v::set1(1.0);
+  DVec acc0 = v::zero();
+  DVec acc1 = v::zero();
+  DVec wacc0 = v::zero();
+  DVec wacc1 = v::zero();
+  // Validity is AND-accumulated as lane masks and tested once per block:
+  // one uop per check per step instead of a movemask + branch chain.
+  DVec bmask = v::mask_all();
+  DVec emask = v::mask_all();
+  std::size_t i = 0;
+  for (; i + 2 * v::kLanes <= n; i += 2 * v::kLanes) {
+    const DVec b0 = v::load(&bids[i]);
+    const DVec b1 = v::load(&bids[i + v::kLanes]);
+    bmask = v::mask_and(bmask, v::mask_and(v::mask_greater(b0, zero),
+                                           v::mask_greater(b1, zero)));
+    const DVec e0 = v::load(&executions[i]);
+    const DVec e1 = v::load(&executions[i + v::kLanes]);
+    emask = v::mask_and(emask, v::mask_and(v::mask_greater(e0, zero),
+                                           v::mask_greater(e1, zero)));
+    const DVec r0 = v::div(one, b0);
+    const DVec r1 = v::div(one, b1);
+    v::store(&inv_out[i], r0);
+    v::store(&inv_out[i + v::kLanes], r1);
+    acc0 = v::add(acc0, r0);
+    acc1 = v::add(acc1, r1);
+    wacc0 = v::add(wacc0, v::mul(v::mul(e0, r0), r0));
+    wacc1 = v::add(wacc1, v::mul(v::mul(e1, r1), r1));
+  }
+  if (i + v::kLanes <= n) {
+    const DVec b0 = v::load(&bids[i]);
+    bmask = v::mask_and(bmask, v::mask_greater(b0, zero));
+    const DVec e0 = v::load(&executions[i]);
+    emask = v::mask_and(emask, v::mask_greater(e0, zero));
+    const DVec r0 = v::div(one, b0);
+    v::store(&inv_out[i], r0);
+    acc0 = v::add(acc0, r0);
+    wacc0 = v::add(wacc0, v::mul(v::mul(e0, r0), r0));
+    i += v::kLanes;
+  }
+  bool bids_ok = v::mask_all_true(bmask);
+  bool execs_ok = v::mask_all_true(emask);
+  double partial = v::hsum(v::add(acc0, acc1));
+  double weight = v::hsum(v::add(wacc0, wacc1));
+  for (; i < n; ++i) {
+    bids_ok = bids_ok && bids[i] > 0.0;
+    execs_ok = execs_ok && executions[i] > 0.0;
+    const double r = 1.0 / bids[i];
+    inv_out[i] = r;
+    partial += r;
+    weight += (executions[i] * r) * r;
+  }
+  return {partial, weight, bids_ok, execs_ok};
+}
+
+bool pr_leave_one_out_block(std::span<const double> inv, double inverse_sum,
+                            double arrival_rate, double min_gap,
+                            std::span<double> loo_out) {
+  const std::size_t n = inv.size();
+  const double r2 = arrival_rate * arrival_rate;
+  const DVec vs = v::set1(inverse_sum);
+  const DVec vgap = v::set1(min_gap);
+  const DVec vr2 = v::set1(r2);
+  bool ok = true;
+  std::size_t i = 0;
+  for (; i + v::kLanes <= n; i += v::kLanes) {
+    const DVec denom = v::sub(vs, v::load(&inv[i]));
+    ok = ok && v::all_greater(denom, vgap);
+    v::store(&loo_out[i], v::div(vr2, denom));
+  }
+  for (; i < n; ++i) {
+    const double denom = inverse_sum - inv[i];
+    ok = ok && denom > min_gap;
+    loo_out[i] = r2 / denom;
+  }
+  return ok;
+}
+
+bool archer_tardos_tail_block(std::span<const double> bids,
+                              std::span<const double> inv, double inverse_sum,
+                              double arrival_rate,
+                              std::span<double> bonus_out) {
+  const std::size_t n = inv.size();
+  const double r2 = arrival_rate * arrival_rate;
+  const DVec vs = v::set1(inverse_sum);
+  const DVec vzero = v::zero();
+  const DVec vone = v::set1(1.0);
+  const DVec vr2 = v::set1(r2);
+  bool ok = true;
+  std::size_t i = 0;
+  for (; i + v::kLanes <= n; i += v::kLanes) {
+    const DVec s = v::sub(vs, v::load(&inv[i]));
+    ok = ok && v::all_greater(s, vzero);
+    const DVec denom = v::mul(s, v::add(vone, v::mul(v::load(&bids[i]), s)));
+    v::store(&bonus_out[i], v::div(vr2, denom));
+  }
+  for (; i < n; ++i) {
+    const double s = inverse_sum - inv[i];
+    ok = ok && s > 0.0;
+    bonus_out[i] = r2 / (s * (1.0 + bids[i] * s));
+  }
+  return ok;
+}
+
+}  // namespace lbmv::alloc::simd

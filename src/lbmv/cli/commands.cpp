@@ -15,6 +15,7 @@
 #include "lbmv/core/comp_bonus.h"
 #include "lbmv/core/frugality.h"
 #include "lbmv/core/no_payment.h"
+#include "lbmv/core/simd_round.h"
 #include "lbmv/core/vcg.h"
 #include "lbmv/dist/protocols.h"
 #include "lbmv/game/wardrop.h"
@@ -717,6 +718,8 @@ int cmd_obs(const std::vector<std::string>& rest, std::ostream& out) {
   std::uint64_t mech_rounds = 0;
   std::uint64_t fast_rounds = 0;
   std::uint64_t allocs_avoided = 0;
+  std::uint64_t simd_rounds = 0;
+  std::uint64_t sharded_rounds = 0;
   for (const auto& [name, value] : snap.counters) {
     if (name.rfind("lbmv_server_completions_total{", 0) == 0) {
       counted += value;
@@ -724,6 +727,8 @@ int cmd_obs(const std::vector<std::string>& rest, std::ostream& out) {
     if (name == "lbmv_mech_rounds_total") mech_rounds = value;
     if (name == "lbmv_mech_linear_fast_rounds_total") fast_rounds = value;
     if (name == "lbmv_mech_allocs_avoided_total") allocs_avoided = value;
+    if (name == "lbmv_mech_simd_rounds_total") simd_rounds = value;
+    if (name == "lbmv_mech_sharded_rounds_total") sharded_rounds = value;
   }
   std::size_t measured = 0;
   for (const auto& round : merged.rounds) {
@@ -737,6 +742,9 @@ int cmd_obs(const std::vector<std::string>& rest, std::ostream& out) {
       << "fused kernels: " << fast_rounds << " of " << mech_rounds
       << " mechanism rounds on the linear fast path, " << allocs_avoided
       << " heap allocations avoided\n"
+      << "vector engine: backend " << core::vector_backend_name() << ", "
+      << simd_rounds << " vectorized rounds (" << sharded_rounds
+      << " sharded)\n"
       << "trace: " << spans << " spans retained, "
       << obs::TraceRecorder::global().dropped() << " dropped";
   if (!trace_path.empty()) out << " -> " << trace_path;

@@ -43,6 +43,9 @@ class ArcherTardosMechanism final : public Mechanism {
 
   [[nodiscard]] std::string name() const override { return "archer-tardos"; }
   [[nodiscard]] bool uses_verification() const override { return false; }
+  [[nodiscard]] VectorRule vector_rule() const override {
+    return VectorRule::kArcherTardos;
+  }
 
   /// Numeric evaluation of the payment tail integral (adaptive Simpson over
   /// the transformed infinite interval) — used by tests to certify the

@@ -136,6 +136,11 @@ class RoundWorkspace {
   std::vector<double> leave_one_out;  ///< L_{-i} per agent
   std::vector<double> own_cost;       ///< per-agent reported cost (VCG)
 
+  // ---- vectorized-engine planes (simd_round.cpp; reused across rounds) ---
+  std::vector<double> inv_bids;        ///< 1/b_i
+  std::vector<double> block_partials;  ///< per-block partials: S, sum (e/b^2)
+  std::vector<unsigned char> block_ok; ///< per-block validation masks
+
   /// Arena for generic (non-linear) families: the function objects are
   /// rebuilt per round via LatencyFamily::make, but the owning planes
   /// persist so the per-round vector churn of the scalar path disappears.
@@ -168,6 +173,19 @@ struct BatchRunOptions {
   bool parallel = true;          ///< fan profiles over a thread pool
   util::ThreadPool* pool = nullptr;  ///< null: the process-global pool
   std::size_t grain = 0;         ///< profiles per task; 0 = automatic
+};
+
+/// Fan-out controls for one round's agent axis (the vectorized engine,
+/// simd_round.h).  Results never depend on these — the fixed block grid
+/// makes every shard/thread count bit-identical — so they tune wall-clock
+/// only.  shards == 0 picks automatically: serial below
+/// kAutoShardMinAgents or on a single-thread pool, one task per pool
+/// thread-quantum above.  shards == 1 forces the serial block loop (what
+/// run_batch workers use: nested pool fan-out would deadlock the pool).
+/// shards > 1 requests that many tasks (capped at the block count).
+struct RoundOptions {
+  std::size_t shards = 0;            ///< 0 auto, 1 serial, k explicit tasks
+  util::ThreadPool* pool = nullptr;  ///< null: the process-global pool
 };
 
 }  // namespace lbmv::core

@@ -60,6 +60,11 @@ class CompBonusMechanism final : public Mechanism {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] bool uses_verification() const override { return true; }
   [[nodiscard]] CompensationBasis basis() const { return basis_; }
+  [[nodiscard]] VectorRule vector_rule() const override {
+    return basis_ == CompensationBasis::kExecution
+               ? VectorRule::kCompBonusExecution
+               : VectorRule::kCompBonusBid;
+  }
 
   /// O(1)-per-deviation profile context for the linear-family / PR-allocator
   /// configuration (the paper's setting); nullptr for other pairings.  Also

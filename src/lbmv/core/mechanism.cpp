@@ -1,9 +1,11 @@
 #include "lbmv/core/mechanism.h"
 
 #include <cmath>
+#include <cstdint>
 
 #include "lbmv/alloc/pr_allocator.h"
 #include "lbmv/core/batch.h"
+#include "lbmv/core/simd_round.h"
 #include "lbmv/obs/probes.h"
 #include "lbmv/util/error.h"
 #include "lbmv/util/thread_pool.h"
@@ -31,14 +33,17 @@ void Mechanism::run_into(const model::LatencyFamily& family,
                          double arrival_rate, std::span<const double> bids,
                          std::span<const double> executions,
                          MechanismOutcome& out, RoundWorkspace& ws) const {
+  run_into(family, arrival_rate, bids, executions, out, ws, RoundOptions{});
+}
+
+void Mechanism::run_into(const model::LatencyFamily& family,
+                         double arrival_rate, std::span<const double> bids,
+                         std::span<const double> executions,
+                         MechanismOutcome& out, RoundWorkspace& ws,
+                         const RoundOptions& options) const {
   const std::size_t n = bids.size();
   LBMV_REQUIRE(n >= 2, "mechanisms require at least two agents");
   LBMV_REQUIRE(executions.size() == n, "execution vector size mismatch");
-  for (std::size_t i = 0; i < n; ++i) {
-    LBMV_REQUIRE(bids[i] > 0.0, "bids must be positive");
-    LBMV_REQUIRE(executions[i] > 0.0, "execution values must be positive");
-  }
-  LBMV_REQUIRE(arrival_rate > 0.0, "arrival rate must be positive");
 
   // Classify the round once; payment rules read the flags off the workspace
   // instead of repeating the dynamic_casts per agent.
@@ -46,6 +51,43 @@ void Mechanism::run_into(const model::LatencyFamily& family,
       dynamic_cast<const model::LinearFamily*>(&family) != nullptr;
   ws.pr_closed_form = false;
   ws.inverse_sum = 0.0;
+
+  // The vectorized engine fuses the entire round — validation, PR solve,
+  // cost planes, payments — when the round is the paper's configuration
+  // (linear family + PR allocator), the mechanism advertises a vectorized
+  // payment rule, and the runtime backend selector says vectorized (the
+  // default iff LBMV_SIMD was compiled in).  It raises the same diagnostics
+  // as the scalar path on invalid input; results agree with the scalar
+  // kernels to the DESIGN.md §12 error bound.
+  const VectorRule rule = vector_rule();
+  if (ws.linear_fast && rule != VectorRule::kNone &&
+      kernel_backend() == KernelBackend::kVectorized &&
+      dynamic_cast<const alloc::PRAllocator*>(allocator_.get()) != nullptr) {
+    const SimdRoundStats stats = run_linear_pr_vectorized(
+        rule, arrival_rate, bids, executions, out, ws, options);
+    if (obs::enabled()) {
+      obs::MechProbes& probes = obs::MechProbes::get();
+      probes.rounds.inc();
+      probes.linear_fast_rounds.inc();
+      probes.allocs_avoided.inc(3 * static_cast<std::uint64_t>(n));
+      probes.simd_rounds.inc();
+      if (stats.shards > 1) {
+        probes.sharded_rounds.inc();
+        probes.shard_count.record(static_cast<double>(stats.shards));
+      }
+      for (const auto& agent : out.agents) {
+        probes.round_payment.record(agent.payment);
+        probes.round_bonus.record(agent.bonus);
+      }
+    }
+    return;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    LBMV_REQUIRE(bids[i] > 0.0, "bids must be positive");
+    LBMV_REQUIRE(executions[i] > 0.0, "execution values must be positive");
+  }
+  LBMV_REQUIRE(arrival_rate > 0.0, "arrival rate must be positive");
 
   // Recycle the previous outcome's rate plane instead of allocating a fresh
   // vector: after the first round at this n, resize() is a no-op.
@@ -168,9 +210,15 @@ void Mechanism::run_batch(const model::LatencyFamily& family,
     probes.batch_size.record(static_cast<double>(count));
   }
   if (count == 0) return;
+  // Workers force serial rounds: a round sharding its agent axis over the
+  // same pool its profile fan-out runs on would deadlock (parallel_for
+  // callers block without draining the queue), and the fixed block grid
+  // makes serial rounds bit-identical to sharded ones anyway.
+  constexpr RoundOptions kSerialRound{/*shards=*/1, /*pool=*/nullptr};
   const auto body = [&](std::size_t b) {
     run_into(family, arrival_rate, batch.bids(b), batch.executions(b),
-             out.outcomes[b], RoundWorkspace::thread_local_instance());
+             out.outcomes[b], RoundWorkspace::thread_local_instance(),
+             kSerialRound);
   };
   if (!options.parallel || count < 2) {
     for (std::size_t b = 0; b < count; ++b) body(b);

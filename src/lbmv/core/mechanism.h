@@ -32,6 +32,21 @@ class RoundWorkspace;    // batch.h
 class ProfileBatch;      // batch.h
 struct BatchOutcomes;    // batch.h
 struct BatchRunOptions;  // batch.h
+struct RoundOptions;     // batch.h
+
+/// Payment rules the vectorized round engine (simd_round.h) implements.
+/// A mechanism advertises its rule via Mechanism::vector_rule(); kNone means
+/// "no vectorized form — always run the scalar kernels".  The engine only
+/// engages on rounds it can fuse end to end: linear family, PR allocator,
+/// and a rule from this list.
+enum class VectorRule {
+  kNone,
+  kCompBonusExecution,  ///< C_i = t~_i x_i^2, B_i = L_{-i} - L(x, t~)
+  kCompBonusBid,        ///< C_i = b_i  x_i^2, B_i = L_{-i} - L(x, t~)
+  kVcg,                 ///< Clarke pivot on the reported types
+  kArcherTardos,        ///< b_i x_i^2 + closed-form payment tail
+  kNoPayment,           ///< P_i = 0
+};
 
 /// Economic outcome for a single agent in one mechanism round.
 struct AgentOutcome {
@@ -145,6 +160,15 @@ class Mechanism {
                 std::span<const double> executions, MechanismOutcome& out,
                 RoundWorkspace& ws) const;
 
+  /// run_into with explicit fan-out control for the vectorized engine (see
+  /// RoundOptions in batch.h).  Results are bit-identical for every shard
+  /// and thread count; only wall-clock changes.  The overload above uses
+  /// RoundOptions{} (auto sharding for large n).
+  void run_into(const model::LatencyFamily& family, double arrival_rate,
+                std::span<const double> bids,
+                std::span<const double> executions, MechanismOutcome& out,
+                RoundWorkspace& ws, const RoundOptions& options) const;
+
   /// run_into over a BidProfile (validates it like run()).
   void run_into(const model::LatencyFamily& family, double arrival_rate,
                 const model::BidProfile& profile, MechanismOutcome& out,
@@ -180,6 +204,15 @@ class Mechanism {
   /// verification", paper Definition 3.2) — if false, payments depend on the
   /// bids alone and slow execution goes unpunished.
   [[nodiscard]] virtual bool uses_verification() const = 0;
+
+  /// The payment rule the vectorized round engine should apply on eligible
+  /// rounds, or kNone (the default) to always run the scalar kernels.  A
+  /// mechanism that overrides this promises its fill_payments is exactly the
+  /// advertised closed form on linear-family/PR-allocator rounds; the
+  /// differential suite (tests/test_simd_kernels.cpp) holds it to that.
+  [[nodiscard]] virtual VectorRule vector_rule() const {
+    return VectorRule::kNone;
+  }
 
   /// Build an O(1)-per-deviation utility evaluator for audits of \p agent
   /// against \p base, or nullptr when no closed form applies (callers then

@@ -26,6 +26,9 @@ class NoPaymentMechanism final : public Mechanism {
 
   [[nodiscard]] std::string name() const override { return "no-payment"; }
   [[nodiscard]] bool uses_verification() const override { return false; }
+  [[nodiscard]] VectorRule vector_rule() const override {
+    return VectorRule::kNoPayment;
+  }
 
   /// O(1)-per-deviation profile context for the linear-family / PR-allocator
   /// configuration; nullptr for other pairings.

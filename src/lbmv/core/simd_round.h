@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file simd_round.h
+/// The vectorized, agent-sharded round engine (DESIGN.md §12).
+///
+/// One mechanism round on the paper's configuration — linear family, PR
+/// allocator — is two data-parallel passes over contiguous agent planes:
+///
+///   P1  inv[i] = 1/b_i, S = sum inv, W = sum (e_i inv_i) inv_i
+///       (+ positivity validation by mask)
+///   P2  everything else, fused: x_i = inv[i]/S * R (the only plane
+///       written), the rule's cost and extra terms (leave-one-out optimum /
+///       Archer–Tardos tail) in-register, and the transposed vector publish
+///       into MechanismOutcome::agents (util::simd::store_records6)
+///
+/// Two passes suffice because the PR closed form factors both latency
+/// totals out of the per-agent sums — L(x,b) = R^2/S and L(x,e) = (R/S)^2 W
+/// — so P2 already knows every total it publishes against.
+///
+/// run_linear_pr_vectorized executes them with the 4-lane kernels of
+/// alloc/pr_simd.h, cutting the agent axis into fixed kShardBlock-agent
+/// blocks.  Blocks write disjoint plane slices and per-block partial sums
+/// into an indexed array; the calling thread reduces the partials in block
+/// order after each pass.  Because the block grid and every in-block
+/// reduction tree are independent of the fan-out, the outcome is
+/// bit-identical for ANY shard count and ANY thread count — the serial path
+/// is simply the same block loop run inline.
+///
+/// Versus the scalar kernels, S is reassociated (tree instead of left
+/// fold), the latency totals use the factored closed forms instead of the
+/// per-agent left folds, and the rate uses one precomputed share,
+/// x = inv * (R/S), instead of the scalar (inv/S)*R — so outcomes agree to
+/// a bounded relative error of O(n·eps), the documented contract tested by
+/// tests/test_simd_kernels.cpp.  Only the per-agent leave-one-out and
+/// Archer–Tardos tail terms, which apply the scalar operand order exactly,
+/// still match the scalar kernels bit-for-bit at equal S.
+
+#include <cstddef>
+#include <span>
+
+#include "lbmv/core/mechanism.h"
+
+namespace lbmv::core {
+
+class RoundWorkspace;   // batch.h
+struct RoundOptions;    // batch.h
+
+/// Which round engine Mechanism::run_into dispatches to on eligible rounds
+/// (linear family, PR allocator, a vector_rule() the engine implements).
+enum class KernelBackend {
+  kScalar,      ///< the historical per-agent loops
+  kVectorized,  ///< the blocked SIMD engine of this header
+};
+
+/// Process-wide engine selector (relaxed atomic).  Defaults to kVectorized
+/// when the AVX2 backend was compiled in (LBMV_SIMD=ON) and kScalar
+/// otherwise, so an LBMV_SIMD=OFF build reproduces the historical kernels
+/// bit-for-bit by default; tests and benches flip it to compare the two
+/// engines — under OFF builds the vectorized engine runs on the emulated
+/// 4-lane backend, which produces the same bits as AVX2.
+[[nodiscard]] KernelBackend kernel_backend();
+void set_kernel_backend(KernelBackend backend);
+
+/// Tag of the vector backend compiled into this binary ("avx2" or
+/// "scalar-4lane"), independent of the runtime selector.
+[[nodiscard]] const char* vector_backend_name();
+
+/// Agents per shard block.  A multiple of 8 (the kernels' unrolled step, so
+/// only the final block ever has a vector tail) sized so one block's working
+/// set — the input/reciprocal/rate planes plus its outcome records — stays
+/// within L2.  Fixed: the block grid must not depend on thread or shard
+/// count, or determinism dies.
+inline constexpr std::size_t kShardBlock = 4096;
+
+/// Rounds below this many agents never auto-shard: the fan-out's task
+/// latency would exceed the O(n) math it parallelizes.
+inline constexpr std::size_t kAutoShardMinAgents = 1u << 16;
+
+/// What the engine actually did, for the caller's obs probes.
+struct SimdRoundStats {
+  std::size_t shards = 1;  ///< pool tasks the block grid was fanned into
+};
+
+/// Run one vectorized round end to end: validation, PR allocation
+/// (publishing ws.inverse_sum / ws.pr_closed_form), latency totals,
+/// payments, utilities — the full contract of Mechanism::run_into on the
+/// fused linear fast path.  \p rule must not be kNone; \p options controls
+/// the fan-out (see RoundOptions).  Throws exactly the scalar path's
+/// diagnostics on invalid input (validation is re-run scalar on mask
+/// failure).
+SimdRoundStats run_linear_pr_vectorized(VectorRule rule, double arrival_rate,
+                                        std::span<const double> bids,
+                                        std::span<const double> executions,
+                                        MechanismOutcome& out,
+                                        RoundWorkspace& ws,
+                                        const RoundOptions& options);
+
+}  // namespace lbmv::core

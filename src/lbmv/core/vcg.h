@@ -29,6 +29,9 @@ class VcgMechanism final : public Mechanism {
 
   [[nodiscard]] std::string name() const override { return "vcg"; }
   [[nodiscard]] bool uses_verification() const override { return false; }
+  [[nodiscard]] VectorRule vector_rule() const override {
+    return VectorRule::kVcg;
+  }
 
   /// O(1)-per-deviation profile context for the linear-family / PR-allocator
   /// configuration; nullptr for other pairings.

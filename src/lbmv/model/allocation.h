@@ -23,6 +23,17 @@ class Allocation {
   /// Wrap per-computer rates.  Requires all entries finite.
   explicit Allocation(std::vector<double> rates);
 
+  /// Wrap rates the caller has already proven finite (e.g. by a vector
+  /// validity mask over the whole plane), skipping the constructor's O(n)
+  /// re-scan.  Callers that cannot prove finiteness must use the checked
+  /// constructor — a non-finite rate smuggled through here breaks the
+  /// class invariant every consumer relies on.
+  [[nodiscard]] static Allocation from_validated(std::vector<double> rates) {
+    Allocation a;
+    a.rates_ = std::move(rates);
+    return a;
+  }
+
   [[nodiscard]] std::size_t size() const { return rates_.size(); }
   [[nodiscard]] double operator[](std::size_t i) const;
   [[nodiscard]] std::span<const double> rates() const { return rates_; }

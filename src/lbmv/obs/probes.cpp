@@ -32,12 +32,15 @@ MechProbes& MechProbes::get() {
     p.batch_runs = r.counter("lbmv_mech_batch_runs_total");
     p.linear_fast_rounds = r.counter("lbmv_mech_linear_fast_rounds_total");
     p.allocs_avoided = r.counter("lbmv_mech_allocs_avoided_total");
+    p.simd_rounds = r.counter("lbmv_mech_simd_rounds_total");
+    p.sharded_rounds = r.counter("lbmv_mech_sharded_rounds_total");
     p.audit_evaluations = r.counter("lbmv_mech_audit_evaluations_total");
     p.loo_batches = r.counter("lbmv_mech_leave_one_out_batches_total");
     p.round_payment = r.histogram("lbmv_mech_round_payment");
     p.round_bonus = r.histogram("lbmv_mech_round_bonus");
     p.batch_size = r.histogram("lbmv_mech_batch_size");
     p.loo_batch_size = r.histogram("lbmv_mech_leave_one_out_batch_size");
+    p.shard_count = r.histogram("lbmv_mech_shard_count");
     return p;
   }();
   return probes;

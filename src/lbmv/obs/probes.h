@@ -22,6 +22,10 @@
 ///     lbmv_mech_linear_fast_rounds_total      rounds on the fused linear path
 ///     lbmv_mech_allocs_avoided_total          heap allocations the fused
 ///                                             path skipped vs the scalar one
+///     lbmv_mech_simd_rounds_total             rounds on the vectorized
+///                                             engine (DESIGN.md §12)
+///     lbmv_mech_sharded_rounds_total          vectorized rounds whose agent
+///                                             axis fanned over the pool
 ///     lbmv_mech_audit_evaluations_total       audit grid points evaluated
 ///     lbmv_mech_leave_one_out_batches_total   leave-one-out batch solves
 ///     lbmv_pool_tasks_total                   thread-pool tasks executed
@@ -43,6 +47,7 @@
 ///     lbmv_server_waiting_seconds{server=...}  completed-job waiting time
 ///     lbmv_mech_round_payment       per-agent payment per round
 ///     lbmv_mech_round_bonus         per-agent bonus per round
+///     lbmv_mech_shard_count         pool tasks per sharded round
 ///     lbmv_mech_batch_size          profiles per run_batch call
 ///     lbmv_mech_leave_one_out_batch_size
 ///     lbmv_pool_chunk_size          parallel_for grain sizes
@@ -73,12 +78,15 @@ struct MechProbes {
   Counter batch_runs;
   Counter linear_fast_rounds;
   Counter allocs_avoided;
+  Counter simd_rounds;
+  Counter sharded_rounds;
   Counter audit_evaluations;
   Counter loo_batches;
   Histogram round_payment;
   Histogram round_bonus;
   Histogram batch_size;
   Histogram loo_batch_size;
+  Histogram shard_count;
 
   static MechProbes& get();
 };

@@ -70,6 +70,7 @@
 #include "lbmv/sim/replication.h"
 #include "lbmv/sim/server.h"
 #include "lbmv/core/no_payment.h"
+#include "lbmv/core/simd_round.h"
 #include "lbmv/core/vcg.h"
 #include "lbmv/strategy/best_response.h"
 #include "lbmv/strategy/deviation.h"
@@ -737,25 +738,102 @@ int main(int argc, char** argv) {
                 << count / parallel_secs << " (" << parallel_speedup
                 << "x)\n";
     }
+    // Single-round series (DESIGN.md §12): ONE round at large n through the
+    // scalar kernels, the vectorized engine serial, and the vectorized
+    // engine with the agent axis auto-sharded over the global pool — all in
+    // this same process, with a differential cross-check between the two
+    // engines that shares the exit-code gate.
+    JsonValue::Array single_series;
+    double single_max_err = 0.0;
+    double simd_speedup_n1024 = 0.0;
+    const lbmv::core::KernelBackend entry_backend =
+        lbmv::core::kernel_backend();
+    const std::vector<std::size_t> single_sizes =
+        smoke ? std::vector<std::size_t>{1024, 10'000}
+              : std::vector<std::size_t>{1024, 10'000, 100'000, 1'000'000};
+    for (std::size_t n : single_sizes) {
+      const auto bids = random_types(n, 77);
+      auto execs = bids;
+      for (double& e : execs) e *= 1.25;
+      lbmv::core::RoundWorkspace ws;
+      lbmv::core::MechanismOutcome scalar_outcome;
+      lbmv::core::MechanismOutcome simd_outcome;
+      constexpr lbmv::core::RoundOptions serial_round{/*shards=*/1,
+                                                      /*pool=*/nullptr};
+      constexpr lbmv::core::RoundOptions auto_round{};
+
+      lbmv::core::set_kernel_backend(lbmv::core::KernelBackend::kScalar);
+      const double scalar_secs = seconds_per_call(
+          [&] {
+            mechanism.run_into(family, arrival_rate, bids, execs,
+                               scalar_outcome, ws, serial_round);
+          },
+          tmin, treps);
+      lbmv::core::set_kernel_backend(lbmv::core::KernelBackend::kVectorized);
+      const double simd_secs = seconds_per_call(
+          [&] {
+            mechanism.run_into(family, arrival_rate, bids, execs,
+                               simd_outcome, ws, serial_round);
+          },
+          tmin, treps);
+      single_max_err = std::max(
+          single_max_err, outcome_max_rel_err(simd_outcome, scalar_outcome));
+      const double sharded_secs = seconds_per_call(
+          [&] {
+            mechanism.run_into(family, arrival_rate, bids, execs,
+                               simd_outcome, ws, auto_round);
+          },
+          tmin, treps);
+
+      JsonValue::Object entry;
+      entry["n"] = static_cast<double>(n);
+      entry["scalar_serial_rounds_per_sec"] = 1.0 / scalar_secs;
+      entry["simd_serial_rounds_per_sec"] = 1.0 / simd_secs;
+      entry["simd_sharded_rounds_per_sec"] = 1.0 / sharded_secs;
+      entry["simd_serial_speedup_vs_scalar"] = scalar_secs / simd_secs;
+      entry["sharded_speedup_vs_scalar"] = scalar_secs / sharded_secs;
+      single_series.emplace_back(std::move(entry));
+      if (n == 1024) simd_speedup_n1024 = scalar_secs / simd_secs;
+      std::cout << "single_round n=" << n << ": scalar "
+                << 1.0 / scalar_secs << " rounds/s, simd serial "
+                << 1.0 / simd_secs << " (" << scalar_secs / simd_secs
+                << "x), simd sharded " << 1.0 / sharded_secs << " ("
+                << scalar_secs / sharded_secs << "x)\n";
+    }
+    lbmv::core::set_kernel_backend(entry_backend);
+
     if (max_err >= 1e-9) batch_check_pass = false;
+    if (single_max_err >= 1e-9) batch_check_pass = false;
     batch_round_throughput["series"] = std::move(batch_series);
+    batch_round_throughput["single_round"] = std::move(single_series);
     batch_round_throughput["differential_max_rel_err"] = max_err;
+    batch_round_throughput["simd_differential_max_rel_err"] = single_max_err;
+    batch_round_throughput["vector_backend"] =
+        std::string(lbmv::core::vector_backend_name());
     batch_round_throughput["cross_check_pass"] = batch_check_pass;
     if (best_speedup_n256 > 0.0) {
       batch_round_throughput["best_speedup_n256"] = best_speedup_n256;
       derived["batch_round_speedup_n256"] = best_speedup_n256;
     }
+    if (simd_speedup_n1024 > 0.0) {
+      derived["simd_round_speedup_n1024"] = simd_speedup_n1024;
+    }
     batch_round_throughput["hardware_concurrency"] =
         static_cast<double>(std::thread::hardware_concurrency());
+    batch_round_throughput["threads_used"] = static_cast<double>(
+        lbmv::util::ThreadPool::global().thread_count());
     batch_round_throughput["note"] =
         "seed_rounds_per_sec re-runs the original per-round formulation "
         "(fresh allocation, per-agent heap-allocated latency functions, "
         "fresh leave-one-out vector) in this same process; run() now rides "
         "the fused kernel with a thread-local workspace, so its rate "
-        "tracks batch_serial; parallel scaling is bounded by "
-        "hardware_concurrency";
+        "tracks batch_serial; single_round compares the scalar kernels "
+        "against the vectorized engine (vector_backend) serial and "
+        "auto-sharded on the global pool; parallel scaling is bounded by "
+        "threads_used (the global pool) and hardware_concurrency";
     std::cout << "batch kernels cross-check: max rel err " << max_err
-              << " -> " << (batch_check_pass ? "pass" : "FAIL") << "\n";
+              << ", simd " << single_max_err << " -> "
+              << (batch_check_pass ? "pass" : "FAIL") << "\n";
   }
 
   JsonValue::Object doc;
