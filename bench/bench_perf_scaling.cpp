@@ -33,6 +33,9 @@
 #include "lbmv/sim/protocol.h"
 #include "lbmv/sim/replication.h"
 #include "lbmv/sim/server.h"
+#include "lbmv/strategy/deviation.h"
+#include "lbmv/strategy/grid.h"
+#include "lbmv/strategy/grid_eval.h"
 #include "lbmv/util/rng.h"
 #include "lbmv/util/thread_pool.h"
 
@@ -331,6 +334,77 @@ BENCHMARK(BM_AuditAllLegacy)
     ->Range(4, 256)
     ->Complexity()
     ->Unit(benchmark::kMillisecond);
+
+void BM_DeviationGridScalar(benchmark::State& state) {
+  // Scalar baseline for the lane-parallel grid kernels (DESIGN.md §13):
+  // 1000 candidate bids per agent scanned one DeviationEvaluator::utility
+  // call at a time.  items/sec = candidate evaluations.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t grid_points = 1000;
+  const lbmv::model::SystemConfig config(random_types(n, 13), 20.0);
+  const lbmv::core::CompBonusMechanism mechanism;
+  const lbmv::strategy::DeviationEvaluator evaluator(mechanism, config);
+  std::vector<std::vector<double>> grids(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = config.true_value(i);
+    lbmv::strategy::make_bid_grid_into(0.05 * t, 20.0 * t, grid_points,
+                                       lbmv::strategy::GridSpacing::kLinear,
+                                       grids[i]);
+  }
+  for (auto _ : state) {
+    double sink = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = config.true_value(i);
+      double best = -1e300;
+      for (double bid : grids[i]) {
+        const double u = evaluator.utility(i, bid, t);
+        if (u > best) best = u;
+      }
+      sink += best;
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * grid_points));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DeviationGridScalar)
+    ->RangeMultiplier(4)
+    ->Range(64, 1024)
+    ->Complexity();
+
+void BM_DeviationGridVector(benchmark::State& state) {
+  // The same sweep through GridEvaluator's 4-lane kernels, serial.
+  // Bit-identical argmax to the scalar scan by construction.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t grid_points = 1000;
+  const lbmv::model::SystemConfig config(random_types(n, 13), 20.0);
+  const lbmv::core::CompBonusMechanism mechanism;
+  const lbmv::strategy::DeviationEvaluator evaluator(mechanism, config);
+  const lbmv::strategy::GridEvaluator grid_eval(evaluator);
+  std::vector<std::vector<double>> grids(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = config.true_value(i);
+    lbmv::strategy::make_bid_grid_into(0.05 * t, 20.0 * t, grid_points,
+                                       lbmv::strategy::GridSpacing::kLinear,
+                                       grids[i]);
+  }
+  for (auto _ : state) {
+    double sink = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sink +=
+          grid_eval.best_response(i, grids[i], config.true_value(i)).utility;
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * grid_points));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DeviationGridVector)
+    ->RangeMultiplier(4)
+    ->Range(64, 1024)
+    ->Complexity();
 
 // ---- Simulation throughput -------------------------------------------------
 //

@@ -634,15 +634,23 @@ int cmd_obs(const std::vector<std::string>& rest, std::ostream& out) {
     render_obs_dashboard(snap, out);
     std::uint64_t evals = 0;
     std::uint64_t avoided = 0;
+    std::uint64_t grid_evals = 0;
+    std::uint64_t lanes_wasted = 0;
     for (const auto& [name, value] : snap.counters) {
       if (name == "lbmv_strategy_deviation_evals_total") evals = value;
       if (name == "lbmv_strategy_mechanism_runs_avoided_total") {
         avoided = value;
       }
+      if (name == "lbmv_strategy_grid_evals_total") grid_evals = value;
+      if (name == "lbmv_strategy_grid_lanes_wasted_total") {
+        lanes_wasted = value;
+      }
     }
     out << '\n'
         << "cross-check: " << avoided << " of " << evals
-        << " deviation evaluations skipped a mechanism run; dynamics "
+        << " deviation evaluations skipped a mechanism run; " << grid_evals
+        << " candidate bids swept by the 4-lane grid kernels (" << lanes_wasted
+        << " padded tail lanes); dynamics "
         << (result.converged ? "converged" : "stopped") << " after "
         << result.rounds << " rounds\n";
     return obs::kCompiledIn && (evals == 0 || avoided > evals) ? 1 : 0;

@@ -1,6 +1,7 @@
 #include "lbmv/core/archer_tardos.h"
 
 #include "lbmv/core/batch.h"
+#include "lbmv/core/profile_context.h"
 #include "lbmv/util/error.h"
 #include "lbmv/util/integrate.h"
 
@@ -61,6 +62,14 @@ void ArcherTardosMechanism::fill_payments(
     agent.bonus = archer_tardos_tail_integral(bids[i], s, arrival_rate);
     agent.payment = agent.compensation + agent.bonus;
   }
+}
+
+std::unique_ptr<ProfileUtilityContext>
+ArcherTardosMechanism::make_profile_context(
+    const model::LatencyFamily& family, double arrival_rate,
+    const model::BidProfile& base) const {
+  return make_linear_pr_profile_context(LinearPrRule::kArcherTardos, family,
+                                        allocator(), arrival_rate, base);
 }
 
 }  // namespace lbmv::core

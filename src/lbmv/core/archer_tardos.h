@@ -54,6 +54,16 @@ class ArcherTardosMechanism final : public Mechanism {
       double bid, double inverse_bid_sum_rest, double arrival_rate,
       double tol = 1e-10);
 
+  /// O(1)-per-deviation closed form (LinearPrRule::kArcherTardos): the
+  /// payment b x^2 + R^2/(s_rest (1 + b s_rest)) follows from the same
+  /// cached sums as the comp-bonus/VCG contexts, so deviation grids, audits
+  /// and best-response dynamics over this baseline ride the fast path (and
+  /// the lane-parallel grid kernels) too.  nullptr off the
+  /// linear-family/PR-allocator pairing, as for the other mechanisms.
+  [[nodiscard]] std::unique_ptr<ProfileUtilityContext> make_profile_context(
+      const model::LatencyFamily& family, double arrival_rate,
+      const model::BidProfile& base) const override;
+
  protected:
   void fill_payments(const model::LatencyFamily& family, double arrival_rate,
                      std::span<const double> bids,

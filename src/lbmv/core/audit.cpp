@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "lbmv/core/batch.h"
+#include "lbmv/core/grid_kernels.h"
+#include "lbmv/core/profile_context.h"
 #include "lbmv/obs/probes.h"
 #include "lbmv/util/error.h"
 #include "lbmv/util/thread_pool.h"
@@ -40,16 +42,21 @@ AuditReport TruthfulnessAuditor::audit_agent(const model::SystemConfig& config,
   const double truth = config.true_value(agent);
   // Incremental fast path: across the sweep only this agent's bid and
   // execution change, so the mechanism can freeze everything else once.
-  const std::unique_ptr<AgentUtilityContext> context =
+  // (The per-agent AgentUtilityContext is just this context bound to one
+  // agent index; the audit holds the profile context directly so the grid
+  // sweep below can ride the lane-parallel kernels when the closed form is
+  // the linear/PR one.)
+  const std::unique_ptr<ProfileUtilityContext> context =
       options.incremental
-          ? mechanism_->make_utility_context(config.family(),
-                                             config.arrival_rate(), base,
-                                             agent)
+          ? mechanism_->make_profile_context(config.family(),
+                                             config.arrival_rate(), base)
           : nullptr;
+  const auto* linear =
+      dynamic_cast<const LinearPrProfileContext*>(context.get());
   auto evaluate = [&](double bid_mult, double exec_mult) {
     const double bid = truth * bid_mult;
     const double execution = truth * exec_mult;
-    if (context != nullptr) return context->utility(bid, execution);
+    if (context != nullptr) return context->utility(agent, bid, execution);
     // Legacy full-mechanism path: one reusable workspace per worker thread,
     // so sweeping the grid allocates only on each thread's first point.
     RoundWorkspace& ws = RoundWorkspace::thread_local_instance();
@@ -72,19 +79,49 @@ AuditReport TruthfulnessAuditor::audit_agent(const model::SystemConfig& config,
   obs::MechProbes::get().audit_evaluations.inc(
       static_cast<std::uint64_t>(nb * ne) + 1);
   std::vector<Deviation> grid(nb * ne);
-  auto body = [&](std::size_t k) {
-    const double bm = options.bid_multipliers[k / ne];
-    const double em = options.exec_multipliers[k % ne];
-    grid[k] = Deviation{bm, em, evaluate(bm, em)};
-  };
-  if (options.parallel) {
-    // Grain-size control: incremental grid points are O(1), so chunk them
-    // coarsely to amortise task overhead; the legacy full-mechanism path is
-    // heavy enough that fine chunks load-balance better.
-    util::ThreadPool::global().parallel_for(0, grid.size(), body,
-                                            options.incremental ? 64 : 1);
+  if (linear != nullptr) {
+    // Lane-parallel path: one candidate-bid sweep per execution multiplier
+    // (bids vary along the row, four lanes per instruction), scattered back
+    // into the k = bm_idx * ne + em_idx layout so the best-scan below
+    // visits grid points in the legacy order — same utilities bit for bit,
+    // same tie-breaking.
+    std::vector<double> bid_row(nb);
+    for (std::size_t j = 0; j < nb; ++j) {
+      bid_row[j] = truth * options.bid_multipliers[j];
+    }
+    std::vector<double> utilities(nb * ne);
+    auto row = [&](std::size_t e) {
+      linear_pr_grid_utilities(
+          *linear, agent, bid_row, truth * options.exec_multipliers[e],
+          std::span<double>(utilities).subspan(e * nb, nb));
+    };
+    if (options.parallel && ne > 1) {
+      util::ThreadPool::global().parallel_for(0, ne, row, /*grain=*/1);
+    } else {
+      for (std::size_t e = 0; e < ne; ++e) row(e);
+    }
+    for (std::size_t j = 0; j < nb; ++j) {
+      for (std::size_t e = 0; e < ne; ++e) {
+        grid[j * ne + e] =
+            Deviation{options.bid_multipliers[j], options.exec_multipliers[e],
+                      utilities[e * nb + j]};
+      }
+    }
   } else {
-    for (std::size_t k = 0; k < grid.size(); ++k) body(k);
+    auto body = [&](std::size_t k) {
+      const double bm = options.bid_multipliers[k / ne];
+      const double em = options.exec_multipliers[k % ne];
+      grid[k] = Deviation{bm, em, evaluate(bm, em)};
+    };
+    if (options.parallel) {
+      // Grain-size control: incremental grid points are O(1), so chunk them
+      // coarsely to amortise task overhead; the legacy full-mechanism path
+      // is heavy enough that fine chunks load-balance better.
+      util::ThreadPool::global().parallel_for(0, grid.size(), body,
+                                              options.incremental ? 64 : 1);
+    } else {
+      for (std::size_t k = 0; k < grid.size(); ++k) body(k);
+    }
   }
 
   report.best = grid.front();

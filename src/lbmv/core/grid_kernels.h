@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file grid_kernels.h
+/// Lane-parallel deviation-grid kernels (DESIGN.md §13).
+///
+/// Every strategic sweep in the repo — best-response scans, audit grids,
+/// learning counterfactuals, tournament regret probes — evaluates ONE
+/// agent's utility at MANY candidate bids against the same frozen
+/// LinearPrProfileContext.  Per candidate b the closed forms need only
+///
+///   S' = S - 1/b_i + 1/b,   x = R/(b S'),   L' = R^2/S',
+///
+/// plus a per-rule payment expression, all of it elementwise arithmetic in
+/// the *candidate* dimension.  The kernels here evaluate four candidates per
+/// instruction over util/simd.h (AVX2 or the bit-identical 4-lane scalar
+/// emulation), replicating the exact IEEE operand order of
+/// LinearPrProfileContext::utility per lane — so the vectorized utilities
+/// equal the scalar oracle bit for bit, not merely to tolerance, and the
+/// scalar DeviationEvaluator stays the differential reference.
+///
+/// Validity is tracked with AND-accumulated lane masks (positive finite
+/// bids), checked once per sweep; on failure a scalar re-validation raises
+/// the canonical PreconditionError for the first offending candidate.  The
+/// best-response reduction keeps a running 4-lane (max, argmax) pair with
+/// blend-by-mask updates and resolves ties toward the smallest index, which
+/// reproduces a strictly-greater first-wins scalar scan exactly — the
+/// tie-break contract minimize_scan and the audits rely on.
+
+#include <cstddef>
+#include <span>
+
+#include "lbmv/core/profile_context.h"
+
+namespace lbmv::core {
+
+/// Winning candidate of a grid sweep.
+struct GridBest {
+  std::size_t index = 0;    ///< first index attaining the maximum utility
+  double utility = 0.0;     ///< the maximum utility
+};
+
+/// Number of padded lanes a sweep of \p grid_size candidates evaluates (the
+/// final partial 4-lane block is padded with a duplicate of the last
+/// candidate; padded lanes can never win the argmax because the genuine
+/// copy has the smaller index).
+[[nodiscard]] std::size_t grid_lanes_padded(std::size_t grid_size);
+
+/// out[k] = ctx.utility(agent, bids[k], execution) for every k, four lanes
+/// per instruction, bit-identical to the scalar calls.  \p out must be at
+/// least bids.size() long; bids and out must not alias.  Throws
+/// PreconditionError on a non-positive/non-finite execution or candidate
+/// bid (after the sweep's masks flag it).
+void linear_pr_grid_utilities(const LinearPrProfileContext& ctx,
+                              std::size_t agent, std::span<const double> bids,
+                              double execution, std::span<double> out);
+
+/// Max/argmax over the same sweep without materialising the utilities:
+/// returns the utility-maximising candidate, ties resolved to the smallest
+/// index (identical to a strictly-greater scalar scan in index order).
+/// Requires a non-empty grid.
+[[nodiscard]] GridBest linear_pr_grid_best(const LinearPrProfileContext& ctx,
+                                           std::size_t agent,
+                                           std::span<const double> bids,
+                                           double execution);
+
+}  // namespace lbmv::core

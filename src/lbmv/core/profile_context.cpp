@@ -5,168 +5,157 @@
 #include <vector>
 
 #include "lbmv/alloc/pr_allocator.h"
+#include "lbmv/core/archer_tardos.h"
 #include "lbmv/util/error.h"
 
 namespace lbmv::core {
-namespace {
 
-/// The closed-form context (file comment in profile_context.h).  Maintains
-/// the committed profile plus the two running sums S and W; every query is a
-/// constant number of flops and every commit is an O(1) delta.  Committed
-/// deltas are re-summed from scratch every max(64, n) commits so floating
-/// point drift stays far below the 1e-9 differential-test tolerance while
-/// the amortised commit cost stays O(1).
-class LinearPrProfileContext final : public ProfileUtilityContext {
- public:
-  LinearPrProfileContext(LinearPrRule rule, double arrival_rate,
-                         model::BidProfile base)
-      : rule_(rule), arrival_rate_(arrival_rate), profile_(std::move(base)) {
-    LBMV_REQUIRE(profile_.size() >= 2,
-                 "mechanisms require at least two agents");
-    profile_.validate(profile_.size());
-    LBMV_REQUIRE(arrival_rate_ > 0.0 && std::isfinite(arrival_rate_),
-                 "arrival rate must be positive and finite");
-    rebuild_period_ = std::max<std::size_t>(64, profile_.size());
-    rebuild();
+LinearPrProfileContext::LinearPrProfileContext(LinearPrRule rule,
+                                               double arrival_rate,
+                                               model::BidProfile base)
+    : rule_(rule), arrival_rate_(arrival_rate), profile_(std::move(base)) {
+  LBMV_REQUIRE(profile_.size() >= 2, "mechanisms require at least two agents");
+  profile_.validate(profile_.size());
+  LBMV_REQUIRE(arrival_rate_ > 0.0 && std::isfinite(arrival_rate_),
+               "arrival rate must be positive and finite");
+  rebuild_period_ = std::max<std::size_t>(64, profile_.size());
+  rebuild();
+}
+
+double LinearPrProfileContext::utility(std::size_t agent, double bid,
+                                       double execution) const {
+  LBMV_ASSERT(agent < profile_.size(), "agent index out of range");
+  LBMV_ASSERT(bid > 0.0 && execution > 0.0,
+              "deviations must have positive bid and execution");
+  const double r = arrival_rate_;
+  const double old_inv = 1.0 / profile_.bids[agent];
+  const double s_rest = s_ - old_inv;
+  const double inv = 1.0 / bid;
+  const double s = s_rest + inv;
+  const double x = r * inv / s;
+  const double x2 = x * x;
+  switch (rule_) {
+    case LinearPrRule::kCompBonusExecution:
+      // C_i = e x^2 cancels the valuation -e x^2, so U = L_{-i} - L'.
+      return r * r / s_rest - actual_after(agent, s, inv, execution);
+    case LinearPrRule::kCompBonusBid:
+      return bid * x2 + (r * r / s_rest -
+                         actual_after(agent, s, inv, execution)) -
+             execution * x2;
+    case LinearPrRule::kVcg: {
+      // Others' reported cost at the new bids: sum_{j!=i} b_j x_j'^2 =
+      // (R/S')^2 S_rest, so the Clarke payment is
+      // L_{-i} - (R^2/S' - b x^2).
+      const double payment = r * r / s_rest - r * r / s + bid * x2;
+      return payment - execution * x2;
+    }
+    case LinearPrRule::kNoPayment:
+      return -execution * x2;
+    case LinearPrRule::kArcherTardos: {
+      // P_i = b x^2 + Integral_{b}^{inf} x_i(u)^2 du; the tail depends only
+      // on s_rest, so truth-telling in bids is dominant but slow execution
+      // (e > t) goes unpunished — the verification-free baseline.
+      const double payment =
+          bid * x2 + r * r / (s_rest * (1.0 + bid * s_rest));
+      return payment - execution * x2;
+    }
   }
+  LBMV_ASSERT(false, "unreachable payment rule");
+  return 0.0;  // unreachable
+}
 
-  [[nodiscard]] double utility(std::size_t agent, double bid,
-                               double execution) const override {
-    LBMV_ASSERT(agent < profile_.size(), "agent index out of range");
-    LBMV_ASSERT(bid > 0.0 && execution > 0.0,
-                "deviations must have positive bid and execution");
-    const double r = arrival_rate_;
-    const double old_inv = 1.0 / profile_.bids[agent];
-    const double s_rest = s_ - old_inv;
-    const double inv = 1.0 / bid;
-    const double s = s_rest + inv;
-    const double x = r * inv / s;
+void LinearPrProfileContext::commit(std::size_t agent, double bid,
+                                    double execution) {
+  LBMV_ASSERT(agent < profile_.size(), "agent index out of range");
+  LBMV_ASSERT(bid > 0.0 && execution > 0.0,
+              "deviations must have positive bid and execution");
+  const double old_bid = profile_.bids[agent];
+  const double old_exec = profile_.executions[agent];
+  s_ += 1.0 / bid - 1.0 / old_bid;
+  w_ += execution / (bid * bid) - old_exec / (old_bid * old_bid);
+  profile_.bids[agent] = bid;
+  profile_.executions[agent] = execution;
+  if (++commits_since_rebuild_ >= rebuild_period_) rebuild();
+}
+
+void LinearPrProfileContext::outcome_into(MechanismOutcome& out) const {
+  const std::size_t n = profile_.size();
+  const double r = arrival_rate_;
+  const double rs = r / s_;
+  const double actual = rs * rs * w_;
+  const double reported = r * r / s_;
+
+  std::vector<double> rates(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    rates[j] = rs / profile_.bids[j];
+  }
+  out.allocation = model::Allocation(std::move(rates));
+  out.actual_latency = actual;
+  out.reported_latency = reported;
+  out.agents.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    auto& agent = out.agents[j];
+    const double b = profile_.bids[j];
+    const double e = profile_.executions[j];
+    const double x = rs / b;
     const double x2 = x * x;
+    const double l_minus = r * r / (s_ - 1.0 / b);
+    agent.allocation = x;
+    agent.valuation = -e * x2;
     switch (rule_) {
       case LinearPrRule::kCompBonusExecution:
-        // C_i = e x^2 cancels the valuation -e x^2, so U = L_{-i} - L'.
-        return r * r / s_rest - actual_after(agent, s, inv, execution);
+        agent.compensation = e * x2;
+        agent.bonus = l_minus - actual;
+        break;
       case LinearPrRule::kCompBonusBid:
-        return bid * x2 + (r * r / s_rest -
-                           actual_after(agent, s, inv, execution)) -
-               execution * x2;
-      case LinearPrRule::kVcg: {
-        // Others' reported cost at the new bids: sum_{j!=i} b_j x_j'^2 =
-        // (R/S')^2 S_rest, so the Clarke payment is
-        // L_{-i} - (R^2/S' - b x^2).
-        const double payment = r * r / s_rest - r * r / s + bid * x2;
-        return payment - execution * x2;
-      }
+        agent.compensation = b * x2;
+        agent.bonus = l_minus - actual;
+        break;
+      case LinearPrRule::kVcg:
+        agent.compensation = b * x2;  // own reported cost
+        agent.bonus = l_minus - reported;
+        break;
       case LinearPrRule::kNoPayment:
-        return -execution * x2;
+        agent.compensation = 0.0;
+        agent.bonus = 0.0;
+        break;
+      case LinearPrRule::kArcherTardos:
+        agent.compensation = b * x2;
+        agent.bonus =
+            archer_tardos_tail_integral(b, s_ - 1.0 / b, r);
+        break;
     }
-    LBMV_ASSERT(false, "unreachable payment rule");
-    return 0.0;  // unreachable
+    agent.payment = agent.compensation + agent.bonus;
+    if (rule_ == LinearPrRule::kNoPayment) agent.payment = 0.0;
+    agent.utility = agent.payment + agent.valuation;
   }
+}
 
-  void commit(std::size_t agent, double bid, double execution) override {
-    LBMV_ASSERT(agent < profile_.size(), "agent index out of range");
-    LBMV_ASSERT(bid > 0.0 && execution > 0.0,
-                "deviations must have positive bid and execution");
-    const double old_bid = profile_.bids[agent];
-    const double old_exec = profile_.executions[agent];
-    s_ += 1.0 / bid - 1.0 / old_bid;
-    w_ += execution / (bid * bid) - old_exec / (old_bid * old_bid);
-    profile_.bids[agent] = bid;
-    profile_.executions[agent] = execution;
-    if (++commits_since_rebuild_ >= rebuild_period_) rebuild();
+double LinearPrProfileContext::actual_latency() const {
+  const double rs = arrival_rate_ / s_;
+  return rs * rs * w_;
+}
+
+double LinearPrProfileContext::actual_after(std::size_t agent, double s,
+                                            double inv_bid,
+                                            double execution) const {
+  const double old_inv = 1.0 / profile_.bids[agent];
+  const double w = w_ - profile_.executions[agent] * old_inv * old_inv +
+                   execution * inv_bid * inv_bid;
+  const double rs = arrival_rate_ / s;
+  return rs * rs * w;
+}
+
+void LinearPrProfileContext::rebuild() {
+  s_ = 0.0;
+  w_ = 0.0;
+  for (std::size_t j = 0; j < profile_.size(); ++j) {
+    const double inv = 1.0 / profile_.bids[j];
+    s_ += inv;
+    w_ += profile_.executions[j] * inv * inv;
   }
-
-  void outcome_into(MechanismOutcome& out) const override {
-    const std::size_t n = profile_.size();
-    const double r = arrival_rate_;
-    const double rs = r / s_;
-    const double actual = rs * rs * w_;
-    const double reported = r * r / s_;
-
-    std::vector<double> rates(n);
-    for (std::size_t j = 0; j < n; ++j) {
-      rates[j] = rs / profile_.bids[j];
-    }
-    out.allocation = model::Allocation(std::move(rates));
-    out.actual_latency = actual;
-    out.reported_latency = reported;
-    out.agents.resize(n);
-    for (std::size_t j = 0; j < n; ++j) {
-      auto& agent = out.agents[j];
-      const double b = profile_.bids[j];
-      const double e = profile_.executions[j];
-      const double x = rs / b;
-      const double x2 = x * x;
-      const double l_minus = r * r / (s_ - 1.0 / b);
-      agent.allocation = x;
-      agent.valuation = -e * x2;
-      switch (rule_) {
-        case LinearPrRule::kCompBonusExecution:
-          agent.compensation = e * x2;
-          agent.bonus = l_minus - actual;
-          break;
-        case LinearPrRule::kCompBonusBid:
-          agent.compensation = b * x2;
-          agent.bonus = l_minus - actual;
-          break;
-        case LinearPrRule::kVcg:
-          agent.compensation = b * x2;  // own reported cost
-          agent.bonus = l_minus - reported;
-          break;
-        case LinearPrRule::kNoPayment:
-          agent.compensation = 0.0;
-          agent.bonus = 0.0;
-          break;
-      }
-      agent.payment = agent.compensation + agent.bonus;
-      if (rule_ == LinearPrRule::kNoPayment) agent.payment = 0.0;
-      agent.utility = agent.payment + agent.valuation;
-    }
-  }
-
-  [[nodiscard]] double actual_latency() const override {
-    const double rs = arrival_rate_ / s_;
-    return rs * rs * w_;
-  }
-
-  [[nodiscard]] const model::BidProfile& profile() const override {
-    return profile_;
-  }
-
- private:
-  /// Verified total latency after agent i deviates: (R/S')^2 W' with
-  /// W' = W - t~_i/b_i^2 + e/b^2.
-  [[nodiscard]] double actual_after(std::size_t agent, double s,
-                                    double inv_bid, double execution) const {
-    const double old_inv = 1.0 / profile_.bids[agent];
-    const double w = w_ - profile_.executions[agent] * old_inv * old_inv +
-                     execution * inv_bid * inv_bid;
-    const double rs = arrival_rate_ / s;
-    return rs * rs * w;
-  }
-
-  void rebuild() {
-    s_ = 0.0;
-    w_ = 0.0;
-    for (std::size_t j = 0; j < profile_.size(); ++j) {
-      const double inv = 1.0 / profile_.bids[j];
-      s_ += inv;
-      w_ += profile_.executions[j] * inv * inv;
-    }
-    commits_since_rebuild_ = 0;
-  }
-
-  LinearPrRule rule_;
-  double arrival_rate_;
-  model::BidProfile profile_;
-  double s_ = 0.0;
-  double w_ = 0.0;
-  std::size_t rebuild_period_ = 64;
-  std::size_t commits_since_rebuild_ = 0;
-};
-
-}  // namespace
+  commits_since_rebuild_ = 0;
+}
 
 std::unique_ptr<ProfileUtilityContext> make_linear_pr_profile_context(
     LinearPrRule rule, const model::LatencyFamily& family,

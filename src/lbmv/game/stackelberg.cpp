@@ -8,6 +8,7 @@
 
 #include "lbmv/alloc/convex_allocator.h"
 #include "lbmv/strategy/deviation.h"
+#include "lbmv/strategy/grid.h"
 #include "lbmv/util/error.h"
 
 namespace lbmv::game {
@@ -146,15 +147,10 @@ BidLeaderReport stackelberg_bidding(const core::Mechanism& mechanism,
 
   // Log-spaced commitment candidates, with the exact truth appended so the
   // truthful-commitment baseline is always one of the evaluated points.
-  std::vector<double> candidates;
-  candidates.reserve(static_cast<std::size_t>(options.bid_grid) + 1);
-  const double log_lo = std::log(options.bid_lo_mult * t_leader);
-  const double log_hi = std::log(options.bid_hi_mult * t_leader);
-  for (int k = 0; k < options.bid_grid; ++k) {
-    const double frac =
-        static_cast<double>(k) / static_cast<double>(options.bid_grid - 1);
-    candidates.push_back(std::exp(log_lo + frac * (log_hi - log_lo)));
-  }
+  std::vector<double> candidates = strategy::make_bid_grid(
+      options.bid_lo_mult * t_leader, options.bid_hi_mult * t_leader,
+      static_cast<std::size_t>(options.bid_grid),
+      strategy::GridSpacing::kLog);
   candidates.push_back(t_leader);
 
   strategy::BestResponseOptions follower = options.follower;

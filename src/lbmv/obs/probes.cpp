@@ -78,7 +78,10 @@ StrategyProbes& StrategyProbes::get() {
     p.mechanism_runs_avoided =
         r.counter("lbmv_strategy_mechanism_runs_avoided_total");
     p.commits = r.counter("lbmv_strategy_commits_total");
+    p.grid_evals = r.counter("lbmv_strategy_grid_evals_total");
+    p.grid_lanes_wasted = r.counter("lbmv_strategy_grid_lanes_wasted_total");
     p.round_seconds = r.histogram("lbmv_strategy_best_response_round_seconds");
+    p.grid_round_seconds = r.histogram("lbmv_strategy_grid_round_seconds");
     return p;
   }();
   return probes;

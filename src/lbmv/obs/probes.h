@@ -37,6 +37,10 @@
 ///     lbmv_strategy_mechanism_runs_avoided_total  fast-path queries that
 ///                                             skipped a full Mechanism::run
 ///     lbmv_strategy_commits_total             committed deviations
+///     lbmv_strategy_grid_evals_total          candidate bids swept by
+///                                             strategy::GridEvaluator
+///     lbmv_strategy_grid_lanes_wasted_total   padded tail lanes the 4-lane
+///                                             grid kernels evaluated
 ///
 ///   gauges (additive)
 ///     lbmv_sim_queue_depth        pending events in the calendar queue
@@ -52,6 +56,7 @@
 ///     lbmv_mech_leave_one_out_batch_size
 ///     lbmv_pool_chunk_size          parallel_for grain sizes
 ///     lbmv_strategy_best_response_round_seconds  wall time per dynamics round
+///     lbmv_strategy_grid_round_seconds  wall time per candidate-grid sweep
 
 #include <cstdint>
 
@@ -109,12 +114,16 @@ struct ProtocolProbes {
   static ProtocolProbes& get();
 };
 
-/// Strategy layer: DeviationEvaluator and best-response dynamics.
+/// Strategy layer: DeviationEvaluator, GridEvaluator and best-response
+/// dynamics.
 struct StrategyProbes {
   Counter deviation_evals;
   Counter mechanism_runs_avoided;
   Counter commits;
+  Counter grid_evals;
+  Counter grid_lanes_wasted;
   Histogram round_seconds;
+  Histogram grid_round_seconds;
 
   static StrategyProbes& get();
 };

@@ -6,6 +6,8 @@
 
 #include "lbmv/obs/probes.h"
 #include "lbmv/strategy/deviation.h"
+#include "lbmv/strategy/grid.h"
+#include "lbmv/strategy/grid_eval.h"
 #include "lbmv/util/error.h"
 #include "lbmv/util/roots.h"
 
@@ -48,6 +50,10 @@ BestResponseResult best_response_dynamics(const core::Mechanism& mechanism,
                                options.use_incremental
                                    ? DeviationEvaluator::Mode::kAuto
                                    : DeviationEvaluator::Mode::kNaive);
+  // One grid engine for the whole run: commits mutate the evaluator's
+  // context in place, so the lane kernels always see the current profile.
+  const GridEvaluator grid_eval(evaluator, options.pool);
+  std::vector<double> bid_grid;
   std::vector<char> frozen(config.size(), 0);
   for (std::size_t i : options.frozen_agents) frozen[i] = 1;
 
@@ -65,18 +71,36 @@ BestResponseResult best_response_dynamics(const core::Mechanism& mechanism,
       double best_exec = evaluator.profile().executions[i];
       double best_utility = evaluator.utility(i, best_bid, best_exec);
 
+      // Same candidate points as util::minimize_scan's coarse pass, swept
+      // four lanes per instruction; the scan's strictly-greater first-wins
+      // argmax and its golden-section refinement (scalar, around the
+      // winning cell) are reproduced exactly, so the dynamics are
+      // bit-identical to the pre-vectorized path.
+      make_bid_grid_into(lo, hi, static_cast<std::size_t>(options.bid_grid),
+                         GridSpacing::kLinear, bid_grid);
+      const double step =
+          (hi - lo) / static_cast<double>(options.bid_grid - 1);
+
       const std::vector<double> exec_candidates =
           options.optimize_execution ? options.exec_multipliers
                                      : std::vector<double>{1.0};
       for (double em : exec_candidates) {
         const double exec = em * t;
-        const auto min_result = util::minimize_scan(
-            [&](double bid) { return -evaluator.utility(i, bid, exec); }, lo,
-            hi, options.bid_grid, 1e-9 * t);
-        const double utility = -min_result.fx;
+        const auto coarse = grid_eval.best_response(i, bid_grid, exec);
+        const double coarse_bid = bid_grid[coarse.index];
+        const auto refined = util::golden_section_min(
+            [&](double bid) { return -evaluator.utility(i, bid, exec); },
+            std::max(lo, coarse_bid - step), std::min(hi, coarse_bid + step),
+            1e-9 * t);
+        double utility = coarse.utility;
+        double bid = coarse_bid;
+        if (refined.fx <= -coarse.utility) {
+          utility = -refined.fx;
+          bid = refined.x;
+        }
         if (utility > best_utility + 1e-12) {
           best_utility = utility;
-          best_bid = min_result.x;
+          best_bid = bid;
           best_exec = exec;
         }
       }

@@ -75,6 +75,13 @@ class DeviationEvaluator {
   /// full mechanism run on the scratch buffer).
   [[nodiscard]] bool incremental() const { return context_ != nullptr; }
 
+  /// The closed-form context backing the incremental path (nullptr on the
+  /// naive fallback).  strategy::GridEvaluator keys its lane-parallel sweep
+  /// path off the concrete type behind this pointer.
+  [[nodiscard]] const core::ProfileUtilityContext* profile_context() const {
+    return context_.get();
+  }
+
  private:
   const core::Mechanism* mechanism_;
   std::shared_ptr<const model::LatencyFamily> family_;  ///< keeps family alive

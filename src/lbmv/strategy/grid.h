@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file grid.h
+/// Canonical candidate-bid grids.
+///
+/// Best-response dynamics, the Stackelberg leader search, the audits and the
+/// perf benches all scan a one-dimensional candidate-bid interval; before
+/// this header each call site rolled its own `lo + step * i` /
+/// `exp(log_lo + frac * (log_hi - log_lo))` loop.  make_bid_grid is the one
+/// shared generator: it produces exactly those sequences (same IEEE
+/// expression, so rewired call sites keep their bits) and fails fast with a
+/// typed PreconditionError on degenerate intervals instead of silently
+/// emitting NaN candidates for the kernels to choke on.
+
+#include <cstddef>
+#include <vector>
+
+namespace lbmv::strategy {
+
+/// How candidate bids are spaced across [lo, hi].
+enum class GridSpacing {
+  kLinear,  ///< x_k = lo + (hi - lo)/(points - 1) * k
+  kLog,     ///< x_k = exp(log lo + k/(points - 1) * (log hi - log lo))
+};
+
+/// Fill \p out with \p points candidates spanning [lo, hi] inclusive.
+/// Requires finite 0 < lo < hi and points >= 2; throws PreconditionError
+/// otherwise.  Reuses \p out's storage (no steady-state allocations for the
+/// sweep loops that regenerate per agent).
+void make_bid_grid_into(double lo, double hi, std::size_t points,
+                        GridSpacing spacing, std::vector<double>& out);
+
+/// Allocating convenience over make_bid_grid_into.
+[[nodiscard]] std::vector<double> make_bid_grid(
+    double lo, double hi, std::size_t points,
+    GridSpacing spacing = GridSpacing::kLinear);
+
+}  // namespace lbmv::strategy

@@ -1,0 +1,115 @@
+#include "lbmv/strategy/grid_eval.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "lbmv/obs/probes.h"
+#include "lbmv/util/error.h"
+#include "lbmv/util/thread_pool.h"
+
+namespace lbmv::strategy {
+namespace {
+
+/// Fixed fan-out block: a multiple of the lane count, so blocked sweeps pad
+/// only the final partial block — exactly the lanes a single serial sweep
+/// would pad — and lane positions (candidate k in lane k mod 4) match the
+/// serial sweep's, keeping blocked and serial results bit-identical.
+constexpr std::size_t kBlock = 1024;
+
+using Clock = std::chrono::steady_clock;
+
+void note_sweep(bool vectorized, std::size_t grid_size,
+                Clock::time_point start) {
+  if (!obs::enabled()) return;
+  obs::StrategyProbes& probes = obs::StrategyProbes::get();
+  probes.grid_evals.inc(grid_size);
+  if (vectorized) {
+    probes.grid_lanes_wasted.inc(core::grid_lanes_padded(grid_size));
+  }
+  const std::chrono::duration<double> elapsed = Clock::now() - start;
+  probes.grid_round_seconds.record(elapsed.count());
+}
+
+}  // namespace
+
+GridEvaluator::GridEvaluator(const DeviationEvaluator& evaluator,
+                             util::ThreadPool* pool)
+    : evaluator_(&evaluator),
+      linear_(dynamic_cast<const core::LinearPrProfileContext*>(
+          evaluator.profile_context())),
+      pool_(pool) {}
+
+void GridEvaluator::utilities_into(std::size_t agent,
+                                   std::span<const double> bids,
+                                   double execution,
+                                   std::span<double> out) const {
+  const Clock::time_point start = obs::enabled() ? Clock::now()
+                                                 : Clock::time_point{};
+  if (linear_ != nullptr) {
+    core::linear_pr_grid_utilities(*linear_, agent, bids, execution, out);
+  } else {
+    LBMV_REQUIRE(out.size() >= bids.size(),
+                 "output span must cover the candidate grid");
+    for (std::size_t k = 0; k < bids.size(); ++k) {
+      out[k] = evaluator_->utility(agent, bids[k], execution);
+    }
+  }
+  note_sweep(linear_ != nullptr, bids.size(), start);
+}
+
+GridEvaluator::Best GridEvaluator::best_response(std::size_t agent,
+                                                 std::span<const double> bids,
+                                                 double execution) const {
+  LBMV_REQUIRE(!bids.empty(), "deviation grid must be non-empty");
+  const Clock::time_point start = obs::enabled() ? Clock::now()
+                                                 : Clock::time_point{};
+  Best best;
+  if (linear_ == nullptr) {
+    // Scalar fallback: strictly-greater first-wins scan, the same rule the
+    // kernels' argmax reproduces.
+    best.utility = evaluator_->utility(agent, bids[0], execution);
+    for (std::size_t k = 1; k < bids.size(); ++k) {
+      const double u = evaluator_->utility(agent, bids[k], execution);
+      if (u > best.utility) {
+        best.utility = u;
+        best.index = k;
+      }
+    }
+  } else {
+    const std::size_t nblocks = (bids.size() + kBlock - 1) / kBlock;
+    if (pool_ != nullptr && nblocks >= 2) {
+      block_best_.resize(nblocks);
+      core::GridBest* slots = block_best_.data();
+      util::parallel_for(*pool_, 0, nblocks, [&](std::size_t blk) {
+        const std::size_t lo = blk * kBlock;
+        const std::size_t len = std::min(kBlock, bids.size() - lo);
+        core::GridBest b =
+            core::linear_pr_grid_best(*linear_, agent, bids.subspan(lo, len),
+                                      execution);
+        b.index += lo;
+        slots[blk] = b;
+      });
+      // Merge in block (= index) order with the strictly-greater rule:
+      // the first block attaining the global max wins, so the result is
+      // the same first-index argmax as one serial sweep, at any thread
+      // count.
+      best.index = block_best_[0].index;
+      best.utility = block_best_[0].utility;
+      for (std::size_t blk = 1; blk < nblocks; ++blk) {
+        if (block_best_[blk].utility > best.utility) {
+          best.index = block_best_[blk].index;
+          best.utility = block_best_[blk].utility;
+        }
+      }
+    } else {
+      const core::GridBest b =
+          core::linear_pr_grid_best(*linear_, agent, bids, execution);
+      best.index = b.index;
+      best.utility = b.utility;
+    }
+  }
+  note_sweep(linear_ != nullptr, bids.size(), start);
+  return best;
+}
+
+}  // namespace lbmv::strategy

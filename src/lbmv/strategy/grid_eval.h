@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file grid_eval.h
+/// Lane-parallel deviation-grid sweeps over a frozen profile.
+///
+/// GridEvaluator is the strategy-layer front end to the core grid kernels
+/// (core/grid_kernels.h, DESIGN.md §13): given a DeviationEvaluator it
+/// answers "utilities at these candidate bids" and "which candidate is
+/// best" four lanes per instruction when the evaluator's closed-form
+/// context is the linear/PR one, and falls back to scalar
+/// DeviationEvaluator::utility calls otherwise — same answers either way,
+/// the vectorized path bit-identical to the scalar oracle.
+///
+/// Large sweeps optionally fan out over a util::ThreadPool: the candidate
+/// axis is cut into FIXED 1024-candidate blocks (independent of thread
+/// count), each block reduced by the lane kernel, and the per-block winners
+/// merged in block order with the same strictly-greater/lowest-index rule —
+/// so the argmax is bit-identical at any thread count, pooled or serial.
+///
+/// Steady state is allocation-free: the only buffer (per-block winners) is
+/// reused across sweeps.  Obs: sweeps bump lbmv_strategy_grid_evals_total /
+/// lbmv_strategy_grid_lanes_wasted_total and record
+/// lbmv_strategy_grid_round_seconds when recording is on.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "lbmv/core/grid_kernels.h"
+#include "lbmv/strategy/deviation.h"
+
+namespace lbmv::util {
+class ThreadPool;
+}
+
+namespace lbmv::strategy {
+
+/// Grid-sweep engine bound to one DeviationEvaluator (which must outlive
+/// it).  Queries never mutate the underlying profile; re-construct (cheap,
+/// no allocation) after DeviationEvaluator::commit to re-resolve the
+/// context.  Not safe for concurrent use of the same instance.
+class GridEvaluator {
+ public:
+  /// Winning candidate of a sweep: first index attaining the maximum.
+  struct Best {
+    std::size_t index = 0;
+    double utility = 0.0;
+  };
+
+  /// \p pool, when non-null, fans large sweeps (> 1 block of 1024
+  /// candidates) over the candidate axis; results are bit-identical with
+  /// and without it.
+  explicit GridEvaluator(const DeviationEvaluator& evaluator,
+                         util::ThreadPool* pool = nullptr);
+
+  /// Whether sweeps ride the lane-parallel kernels (linear/PR closed form
+  /// present) rather than per-candidate scalar evaluator calls.
+  [[nodiscard]] bool vectorized() const { return linear_ != nullptr; }
+
+  /// out[k] = utility of \p agent deviating to (bids[k], execution); \p out
+  /// must be at least bids.size() long.
+  void utilities_into(std::size_t agent, std::span<const double> bids,
+                      double execution, std::span<double> out) const;
+
+  /// Utility-maximising candidate, ties to the smallest index — identical
+  /// to a strictly-greater scalar scan in index order.  Requires a
+  /// non-empty grid.
+  [[nodiscard]] Best best_response(std::size_t agent,
+                                   std::span<const double> bids,
+                                   double execution) const;
+
+ private:
+  const DeviationEvaluator* evaluator_;
+  const core::LinearPrProfileContext* linear_;  ///< nullptr: scalar fallback
+  util::ThreadPool* pool_;
+  mutable std::vector<core::GridBest> block_best_;  ///< reused fan-out slots
+};
+
+}  // namespace lbmv::strategy

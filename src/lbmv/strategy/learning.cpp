@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "lbmv/strategy/deviation.h"
+#include "lbmv/strategy/grid_eval.h"
 #include "lbmv/util/error.h"
 #include "lbmv/util/rng.h"
 
@@ -95,12 +96,19 @@ LearningResult run_learning(const core::Mechanism& mechanism,
   // committed to their chosen arm each round, so one evaluator serves the
   // whole run with no per-round profile construction.
   DeviationEvaluator evaluator(mechanism, config);
+  const GridEvaluator grid_eval(evaluator);  // full-feedback sweeps
   core::MechanismOutcome outcome;  // reused across rounds
 
   LearningResult result;
   result.latency_trace.reserve(static_cast<std::size_t>(options.rounds));
   double epsilon = options.epsilon;
   std::vector<std::size_t> chosen(n, 0);
+  // Full-feedback scratch: one candidate-bid row per execution arm, reused
+  // every round (bid_row[b] = bid_arms[b] * t, arm index b * ne + e).
+  const std::size_t nb = options.bid_arms.size();
+  const std::size_t ne = options.exec_arms.size();
+  std::vector<double> bid_row(options.full_feedback ? nb : 0);
+  std::vector<double> util_row(options.full_feedback ? nb : 0);
   for (int round = 0; round < options.rounds; ++round) {
     for (std::size_t i = 0; i < n; ++i) {
       if (!learns(i)) continue;
@@ -112,7 +120,24 @@ LearningResult run_learning(const core::Mechanism& mechanism,
     result.latency_trace.push_back(outcome.actual_latency);
     for (std::size_t i = 0; i < n; ++i) {
       if (!learns(i)) continue;
-      learners[i].update(chosen[i], outcome.agents[i].utility);
+      if (options.full_feedback) {
+        // Counterfactual credit for the whole arm grid: each execution arm
+        // is one lane-parallel sweep over the bid arms against the profile
+        // everyone just committed.
+        const double t = config.true_value(i);
+        for (std::size_t b = 0; b < nb; ++b) {
+          bid_row[b] = options.bid_arms[b] * t;
+        }
+        for (std::size_t e = 0; e < ne; ++e) {
+          grid_eval.utilities_into(i, bid_row, options.exec_arms[e] * t,
+                                   util_row);
+          for (std::size_t b = 0; b < nb; ++b) {
+            learners[i].update(b * ne + e, util_row[b]);
+          }
+        }
+      } else {
+        learners[i].update(chosen[i], outcome.agents[i].utility);
+      }
     }
     epsilon *= options.epsilon_decay;
   }

@@ -36,6 +36,14 @@ struct LearningOptions {
   /// (Against truthful opponents truth is exactly dominant, so the single
   /// learner must converge to the (1, 1) arm.)
   std::optional<std::size_t> single_learner;
+  /// Full-feedback (counterfactual) updates: instead of crediting only the
+  /// pulled arm with its realised utility, every arm's Q is updated each
+  /// round with the agent's counterfactual deviation utility at that arm —
+  /// one lane-parallel candidate-bid sweep per execution arm through
+  /// strategy::GridEvaluator, so the whole arm grid costs a handful of
+  /// 4-lane kernel calls rather than |arms| mechanism runs.  Convergence to
+  /// the dominant arm no longer depends on exploration luck.
+  bool full_feedback = false;
 };
 
 /// Outcome of a learning run.

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "lbmv/strategy/deviation.h"
+#include "lbmv/strategy/grid.h"
+#include "lbmv/strategy/grid_eval.h"
 #include "lbmv/util/error.h"
 #include "lbmv/util/stats.h"
 
@@ -23,6 +25,8 @@ std::vector<StrategyScore> run_tournament(
   LBMV_REQUIRE(std::isfinite(options.arrival_rate) &&
                    options.arrival_rate > 0.0,
                "arrival rate must be positive and finite");
+  LBMV_REQUIRE(options.best_response_grid >= 2,
+               "best_response_grid must be at least 2");
 
   const std::size_t instances = static_cast<std::size_t>(options.instances);
   const util::Rng rng(options.seed);
@@ -34,6 +38,7 @@ std::vector<StrategyScore> run_tournament(
   struct Sample {
     double achieved = 0.0;
     double regret = 0.0;
+    double br_gain = 0.0;
   };
   std::vector<std::vector<Sample>> samples(instances);
 
@@ -53,6 +58,8 @@ std::vector<StrategyScore> run_tournament(
     util::Rng action_rng = instance_rng.split(1);
     model::BidProfile profile = apply_strategies(config, assigned, action_rng);
     const DeviationEvaluator evaluator(mechanism, config, std::move(profile));
+    const GridEvaluator grid_eval(evaluator);
+    std::vector<double> bid_grid;  // reused per agent
 
     auto& row = samples[instance];
     row.resize(options.agents);
@@ -65,6 +72,14 @@ std::vector<StrategyScore> run_tournament(
       const double t = config.true_value(i);
       row[i].achieved = achieved;
       row[i].regret = evaluator.utility(i, t, t) - achieved;
+      // Exploitability probe: best candidate bid at the committed
+      // execution, one lane-parallel sweep per agent.
+      make_bid_grid_into(0.05 * t, 20.0 * t,
+                         static_cast<std::size_t>(options.best_response_grid),
+                         GridSpacing::kLinear, bid_grid);
+      const auto best = grid_eval.best_response(
+          i, bid_grid, evaluator.profile().executions[i]);
+      row[i].br_gain = best.utility - achieved;
     }
   };
 
@@ -80,11 +95,13 @@ std::vector<StrategyScore> run_tournament(
 
   std::vector<util::RunningStats> utility(strategies.size());
   std::vector<util::RunningStats> regret(strategies.size());
+  std::vector<util::RunningStats> br_gain(strategies.size());
   for (std::size_t instance = 0; instance < instances; ++instance) {
     for (std::size_t i = 0; i < options.agents; ++i) {
       const std::size_t s = i % strategies.size();
       utility[s].add(samples[instance][i].achieved);
       regret[s].add(samples[instance][i].regret);
+      br_gain[s].add(samples[instance][i].br_gain);
     }
   }
 
@@ -92,7 +109,8 @@ std::vector<StrategyScore> run_tournament(
   scores.reserve(strategies.size());
   for (std::size_t s = 0; s < strategies.size(); ++s) {
     scores.push_back(StrategyScore{strategies[s]->name(), utility[s].mean(),
-                                   regret[s].mean(), utility[s].count()});
+                                   regret[s].mean(), br_gain[s].mean(),
+                                   utility[s].count()});
   }
   return scores;
 }

@@ -35,6 +35,10 @@ struct TournamentOptions {
   /// order, so scores are bit-identical for any thread count.
   bool parallel = true;
   util::ThreadPool* pool = nullptr;  ///< nullptr: the global pool
+  /// Candidate-bid grid resolution (>= 2) for the per-agent best-response
+  /// gain probe: one lane-parallel sweep of strategy::make_bid_grid
+  /// candidates per agent per instance.
+  int best_response_grid = 48;
 };
 
 /// Aggregate score of one strategy across the tournament.
@@ -44,6 +48,12 @@ struct StrategyScore {
   /// mean(truthful counterfactual utility - achieved utility): positive
   /// means lying cost the agent money on average.
   double mean_regret = 0.0;
+  /// mean(best grid-candidate bid utility - achieved utility) at the
+  /// agent's committed execution: how much a unilateral bid re-optimisation
+  /// (over the best_response_grid sweep) would have gained.  ~0 for a
+  /// best-responding strategy; can be marginally negative when the grid
+  /// misses the committed bid.
+  double mean_best_response_gain = 0.0;
   std::size_t samples = 0;
 };
 

@@ -112,6 +112,22 @@ inline void store(double* p, DVec a) { _mm256_storeu_pd(p, a.v); }
   return _mm256_movemask_pd(m.v) == 0xF;
 }
 
+/// Lane-wise maximum with the scalar rule `a > b ? a : b` (matches
+/// _mm256_max_pd: on a NaN lane the second operand is returned, and
+/// max(+0, -0) follows the operand order, not IEEE maxNum).
+[[nodiscard]] inline DVec max(DVec a, DVec b) {
+  // MAXPD returns the second operand on NaN lanes and on ties (including
+  // +0/-0), which is exactly the ternary above lane-wise.
+  return {_mm256_max_pd(a.v, b.v)};
+}
+
+/// Lane-wise blend by mask sign bit: lane i of the result is a[i] where
+/// m[i]'s sign bit is set (compare held), b[i] elsewhere.  With masks from
+/// mask_greater this is the vector form of `m ? a : b`.
+[[nodiscard]] inline DVec select(DVec m, DVec a, DVec b) {
+  return {_mm256_blendv_pd(b.v, a.v, m.v)};
+}
+
 [[nodiscard]] inline double lane(DVec a, std::size_t i) {
   alignas(32) double tmp[kLanes];
   _mm256_store_pd(tmp, a.v);
@@ -231,6 +247,29 @@ inline void store(double* p, DVec a) {
     ok = ok && (std::bit_cast<std::uint64_t>(m.v[i]) >> 63) != 0;
   }
   return ok;
+}
+
+/// Lane-wise maximum with the scalar rule `a > b ? a : b` (matches
+/// _mm256_max_pd: on a NaN lane the second operand is returned, and
+/// max(+0, -0) follows the operand order, not IEEE maxNum).
+[[nodiscard]] inline DVec max(DVec a, DVec b) {
+  DVec r;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    r.v[i] = a.v[i] > b.v[i] ? a.v[i] : b.v[i];
+  }
+  return r;
+}
+
+/// Lane-wise blend by mask sign bit: lane i of the result is a[i] where
+/// m[i]'s sign bit is set (compare held), b[i] elsewhere.  With masks from
+/// mask_greater this is the vector form of `m ? a : b`.
+[[nodiscard]] inline DVec select(DVec m, DVec a, DVec b) {
+  DVec r;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    r.v[i] =
+        (std::bit_cast<std::uint64_t>(m.v[i]) >> 63) != 0 ? a.v[i] : b.v[i];
+  }
+  return r;
 }
 
 [[nodiscard]] inline double lane(DVec a, std::size_t i) { return a.v[i]; }
