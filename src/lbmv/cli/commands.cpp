@@ -14,13 +14,17 @@
 #include "lbmv/core/audit.h"
 #include "lbmv/core/comp_bonus.h"
 #include "lbmv/core/frugality.h"
+#include "lbmv/core/invariants.h"
 #include "lbmv/core/no_payment.h"
 #include "lbmv/core/simd_round.h"
 #include "lbmv/core/vcg.h"
 #include "lbmv/dist/protocols.h"
 #include "lbmv/game/wardrop.h"
+#include "lbmv/obs/flight_recorder.h"
 #include "lbmv/obs/metrics.h"
+#include "lbmv/obs/monitor.h"
 #include "lbmv/obs/obs.h"
+#include "lbmv/obs/sampler.h"
 #include "lbmv/obs/trace.h"
 #include "lbmv/sim/epochs.h"
 #include "lbmv/sim/protocol.h"
@@ -534,17 +538,40 @@ std::string metric_label_value(const std::string& name) {
   return name.substr(open + 1, close - open - 1);
 }
 
-void render_obs_dashboard(const obs::MetricsSnapshot& snap,
-                          std::ostream& out) {
+/// Last <= 16 per-interval deltas of one sampled series, for sparklines.
+std::vector<double> recent_deltas(const obs::TimeSeriesSampler& sampler,
+                                  const std::string& name) {
+  const obs::SeriesView view = sampler.series_for(name);
+  std::vector<double> deltas;
+  const std::size_t first =
+      view.points.size() > 17 ? view.points.size() - 17 : 1;
+  for (std::size_t p = first; p < view.points.size(); ++p) {
+    deltas.push_back(view.points[p].value - view.points[p - 1].value);
+  }
+  return deltas;
+}
+
+void render_obs_dashboard(const obs::MetricsSnapshot& snap, std::ostream& out,
+                          const obs::TimeSeriesSampler* sampler = nullptr) {
   if (snap.counters.empty() && snap.gauges.empty() &&
       snap.histograms.empty()) {
     out << "(no metrics recorded"
         << (obs::kCompiledIn ? ")" : "; built with LBMV_OBS=0)") << "\n";
     return;
   }
-  Table counters({"Counter", "Count"});
+  const bool windowed = sampler != nullptr && sampler->sample_count() >= 2;
+  Table counters(windowed
+                     ? std::vector<std::string>{"Counter", "Count", "Rate/s",
+                                                "Delta (spark)"}
+                     : std::vector<std::string>{"Counter", "Count"});
   for (const auto& [name, value] : snap.counters) {
-    counters.add_row({name, std::to_string(value)});
+    if (!windowed) {
+      counters.add_row({name, std::to_string(value)});
+      continue;
+    }
+    counters.add_row({name, std::to_string(value),
+                      Table::num(sampler->rate_per_sec(name), 1),
+                      util::sparkline(recent_deltas(*sampler, name))});
   }
   Table gauges({"Gauge", "Value"});
   for (const auto& [name, value] : snap.gauges) {
@@ -572,6 +599,40 @@ void render_obs_dashboard(const obs::MetricsSnapshot& snap,
     out << '\n'
         << util::bar_chart("jobs completed per server", completion_bars);
   }
+
+  // Always-on summary lines (every workload, every refresh): the health of
+  // the invariant monitors, the 4-lane grid kernels, and the flight
+  // recorder — not buried in the tables above.
+  const obs::MonitorTotals totals = obs::monitor_totals(snap);
+  out << '\n'
+      << "invariant monitors: " << totals.checks << " checks, "
+      << totals.violations << " violations\n";
+  std::uint64_t grid_evals = 0;
+  std::uint64_t lanes_wasted = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "lbmv_strategy_grid_evals_total") grid_evals = value;
+    if (name == "lbmv_strategy_grid_lanes_wasted_total") lanes_wasted = value;
+  }
+  out << "grid kernels: " << grid_evals << " candidate bids swept ("
+      << lanes_wasted << " padded tail lanes)";
+  const auto grid_seconds =
+      snap.histograms.find("lbmv_strategy_grid_round_seconds");
+  if (grid_seconds != snap.histograms.end() &&
+      grid_seconds->second.count > 0) {
+    out << ", " << grid_seconds->second.count << " sweeps, mean "
+        << Table::num(grid_seconds->second.mean() * 1e6, 1) << " us";
+  }
+  out << '\n';
+  const auto flight_records = obs::FlightRecorder::global().records();
+  out << "flight recorder: " << flight_records.size()
+      << " records retained, " << obs::FlightRecorder::global().dropped()
+      << " dropped";
+  std::size_t errors = 0;
+  for (const auto& rec : flight_records) {
+    if (rec.severity == obs::Severity::kError) ++errors;
+  }
+  if (errors > 0) out << " (" << errors << " errors)";
+  out << '\n';
 }
 
 int cmd_obs(const std::vector<std::string>& rest, std::ostream& out) {
@@ -584,13 +645,20 @@ int cmd_obs(const std::vector<std::string>& rest, std::ostream& out) {
   args.add_option("replications", "independent replications", "8");
   args.add_option("seed", "rng seed", "42");
   args.add_option("deviate", "agent:bid_mult[:exec_mult]", "");
-  args.add_option("snapshot", "dashboard | json | prom", "dashboard");
+  args.add_option("snapshot", "dashboard | json | prom | timeseries",
+                  "dashboard");
   args.add_option("trace", "write Chrome trace JSON to this file", "");
-  args.add_option("interval-ms", "refresh period for --watch", "250");
+  args.add_option("flight", "write flight-recorder JSON-lines to this file",
+                  "");
+  args.add_option("interval-ms",
+                  "refresh period for --watch and the timeseries sampler",
+                  "250");
   args.add_option("workload", "protocol | dynamics (best-response rounds)",
                   "protocol");
   args.add_option("rounds", "dynamics rounds for --workload dynamics", "12");
   args.add_flag("watch", "redraw the dashboard while the run progresses");
+  args.add_flag("seed-violation",
+                "inject one corrupted round so the invariant monitors fire");
   args.parse(rest);
   if (args.flag("help")) {
     out << args.help();
@@ -598,37 +666,59 @@ int cmd_obs(const std::vector<std::string>& rest, std::ostream& out) {
   }
   const auto config = config_from_args(args);
   const std::string mode = args.option("snapshot");
-  if (mode != "dashboard" && mode != "json" && mode != "prom") {
-    throw UsageError("--snapshot must be dashboard | json | prom");
+  if (mode != "dashboard" && mode != "json" && mode != "prom" &&
+      mode != "timeseries") {
+    throw UsageError(
+        "--snapshot must be dashboard | json | prom | timeseries");
   }
   const std::string workload = args.option("workload");
   if (workload != "protocol" && workload != "dynamics") {
     throw UsageError("--workload must be protocol | dynamics");
   }
   const std::string trace_path = args.option("trace");
+  const std::string flight_path = args.option("flight");
+  const auto interval =
+      std::chrono::milliseconds(args.option_as_long("interval-ms"));
   const auto replications =
       static_cast<std::size_t>(args.option_as_long("replications"));
   if (replications == 0) throw UsageError("--replications must be positive");
+
+  const auto dump_flight = [&flight_path] {
+    if (flight_path.empty()) return;
+    if (!obs::FlightRecorder::global().dump_jsonl(flight_path)) {
+      throw UsageError("cannot write '" + flight_path + "'");
+    }
+  };
 
   if (workload == "dynamics") {
     // Strategy-layer workload: run best-response dynamics so the
     // lbmv_strategy_* probe family shows up in the dashboard.
     obs::Registry::global().reset();
     obs::TraceRecorder::global().clear();
+    obs::FlightRecorder::global().clear();
     obs::set_enabled(true);
     const core::CompBonusMechanism mechanism;
     strategy::BestResponseOptions dynamics;
     dynamics.max_rounds = static_cast<int>(args.option_as_long("rounds"));
+    obs::TimeSeriesSampler sampler;
+    if (mode == "timeseries") sampler.start(interval);
     const auto result =
         strategy::best_response_dynamics(mechanism, config, dynamics);
+    sampler.stop();
+    sampler.sample();  // final point so short runs still yield a series
     obs::set_enabled(false);
+    dump_flight();
     const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
     if (mode == "json") {
       out << snap.to_json() << '\n';
       return 0;
     }
     if (mode == "prom") {
-      out << snap.to_prometheus();
+      out << snap.to_prometheus(/*with_timestamps=*/true);
+      return 0;
+    }
+    if (mode == "timeseries") {
+      out << sampler.to_json() << '\n';
       return 0;
     }
     render_obs_dashboard(snap, out);
@@ -661,6 +751,7 @@ int cmd_obs(const std::vector<std::string>& rest, std::ostream& out) {
   // construction, so this must precede the workload).
   obs::Registry::global().reset();
   obs::TraceRecorder::global().clear();
+  obs::FlightRecorder::global().clear();
   obs::set_enabled(true);
 
   const core::CompBonusMechanism mechanism;
@@ -686,9 +777,8 @@ int cmd_obs(const std::vector<std::string>& rest, std::ostream& out) {
       run_error = std::current_exception();
     }
   };
+  obs::TimeSeriesSampler sampler;
   if (args.flag("watch") && mode == "dashboard") {
-    const auto interval =
-        std::chrono::milliseconds(args.option_as_long("interval-ms"));
     std::atomic<bool> done{false};
     std::thread runner([&] {
       run();
@@ -696,15 +786,46 @@ int cmd_obs(const std::vector<std::string>& rest, std::ostream& out) {
     });
     while (!done.load()) {
       std::this_thread::sleep_for(interval);
+      sampler.sample();
       out << "\x1b[2J\x1b[H";  // clear screen, home cursor
-      render_obs_dashboard(obs::Registry::global().snapshot(), out);
+      render_obs_dashboard(obs::Registry::global().snapshot(), out,
+                           &sampler);
     }
     runner.join();
+    sampler.sample();
   } else {
+    if (mode == "timeseries") sampler.start(interval);
     run();
+    sampler.stop();
+    sampler.sample();  // final point so short runs still yield a series
+  }
+
+  // Demo path for the README quickstart: corrupt one round's outcome and
+  // feed it back through the invariant monitors.  Every seeded defect —
+  // infeasible allocation, broken P = C + B split, negative truthful
+  // utility — must be flagged, land in the flight recorder, and show in
+  // the dashboard's violation totals.
+  std::size_t seeded_violations = 0;
+  if (args.flag("seed-violation")) {
+    core::MechanismOutcome bad = mechanism.run(config, profile);
+    std::vector<double> rates = std::move(bad.allocation).release();
+    if (!rates.empty()) rates[0] *= 1.05;  // ship more than arrives
+    bad.allocation = model::Allocation(std::move(rates));
+    if (!bad.agents.empty()) {
+      bad.agents[0].payment += 1.0;  // break the P = C + B identity
+      bad.agents[0].utility = -1.0;  // fake a participation deficit
+    }
+    seeded_violations = core::check_round_invariants(
+        profile.bids, profile.executions, config.arrival_rate(), bad,
+        core::RoundInvariantOptions{
+            /*linear_pr=*/true,
+            /*participation_guaranteed=*/
+            mechanism.guarantees_voluntary_participation()});
+    sampler.sample();
   }
   obs::set_enabled(false);
   if (run_error) std::rethrow_exception(run_error);
+  dump_flight();
 
   const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
   if (!trace_path.empty()) {
@@ -717,11 +838,16 @@ int cmd_obs(const std::vector<std::string>& rest, std::ostream& out) {
     return 0;
   }
   if (mode == "prom") {
-    out << snap.to_prometheus();
+    out << snap.to_prometheus(/*with_timestamps=*/true);
+    return 0;
+  }
+  if (mode == "timeseries") {
+    out << sampler.to_json() << '\n';
     return 0;
   }
 
-  render_obs_dashboard(snap, out);
+  render_obs_dashboard(snap, out,
+                       sampler.sample_count() >= 2 ? &sampler : nullptr);
   std::uint64_t counted = 0;
   std::uint64_t mech_rounds = 0;
   std::uint64_t fast_rounds = 0;
@@ -757,6 +883,14 @@ int cmd_obs(const std::vector<std::string>& rest, std::ostream& out) {
       << obs::TraceRecorder::global().dropped() << " dropped";
   if (!trace_path.empty()) out << " -> " << trace_path;
   out << '\n';
+  if (args.flag("seed-violation")) {
+    out << "seeded violation: " << seeded_violations
+        << " invariant violations flagged";
+    if (!flight_path.empty()) out << " -> " << flight_path;
+    out << '\n';
+    // The demo must actually catch the corruption when probes are live.
+    if (obs::kCompiledIn && seeded_violations == 0) return 1;
+  }
   return obs::kCompiledIn && counted != measured ? 1 : 0;
 }
 

@@ -1,0 +1,105 @@
+#include "lbmv/core/invariants.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lbmv/obs/monitor.h"
+
+namespace lbmv::core {
+
+std::size_t check_round_invariants(std::span<const double> bids,
+                                   std::span<const double> executions,
+                                   double arrival_rate,
+                                   const MechanismOutcome& outcome,
+                                   const RoundInvariantOptions& options) {
+  obs::Monitors& monitors = obs::Monitors::get();
+  const std::size_t n = outcome.agents.size();
+  const std::span<const double> x = outcome.allocation.rates();
+  std::size_t violations = 0;
+
+  // Feasibility: the allocation must ship exactly R.
+  {
+    double shipped = 0.0;
+    for (const double xi : x) shipped += xi;
+    const double residual = (shipped - arrival_rate) / arrival_rate;
+    if (!monitors.feasibility.check(
+            residual, {{"n", static_cast<double>(n)},
+                       {"shipped", shipped},
+                       {"arrival_rate", arrival_rate}})) {
+      ++violations;
+    }
+  }
+
+  // Payment decomposition: P_i = C_i + B_i, agent by agent.
+  {
+    double worst = 0.0;
+    std::size_t worst_agent = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const AgentOutcome& a = outcome.agents[i];
+      const double parts = a.compensation + a.bonus;
+      const double scale =
+          std::max({1.0, std::fabs(a.payment), std::fabs(parts)});
+      const double rel = std::fabs(a.payment - parts) / scale;
+      if (rel > worst) {
+        worst = rel;
+        worst_agent = i;
+      }
+    }
+    if (!monitors.payment_decomposition.check(
+            worst, {{"agent", static_cast<double>(worst_agent)},
+                    {"payment", outcome.agents[worst_agent].payment},
+                    {"parts", outcome.agents[worst_agent].compensation +
+                                  outcome.agents[worst_agent].bonus}})) {
+      ++violations;
+    }
+  }
+
+  // Voluntary participation at consistent rounds (file comment: only
+  // sound where the allocation is exactly the optimum, i.e. PR-on-linear).
+  if (options.participation_guaranteed && options.linear_pr) {
+    bool consistent = bids.size() == n && executions.size() == n;
+    for (std::size_t i = 0; consistent && i < n; ++i) {
+      consistent = bids[i] == executions[i];
+    }
+    if (consistent) {
+      double min_utility = 0.0;
+      std::size_t min_agent = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (outcome.agents[i].utility < min_utility) {
+          min_utility = outcome.agents[i].utility;
+          min_agent = i;
+        }
+      }
+      const double scale = std::max(1.0, std::fabs(outcome.reported_latency));
+      const double deficit = std::max(0.0, -min_utility) / scale;
+      if (!monitors.participation.check(
+              deficit, {{"agent", static_cast<double>(min_agent)},
+                        {"utility", min_utility},
+                        {"reported_latency", outcome.reported_latency}})) {
+        ++violations;
+      }
+    }
+  }
+
+  // KKT stationarity on linear rounds: b_j x_j constant at the optimum.
+  if (options.linear_pr && bids.size() == n && n > 0) {
+    double lo = bids[0] * x[0];
+    double hi = lo;
+    for (std::size_t j = 1; j < n; ++j) {
+      const double marginal = bids[j] * x[j];
+      lo = std::min(lo, marginal);
+      hi = std::max(hi, marginal);
+    }
+    const double spread = (hi - lo) / std::max(std::fabs(hi), 1e-300);
+    if (!monitors.kkt_stationarity.check(
+            spread, {{"n", static_cast<double>(n)},
+                     {"marginal_min", lo},
+                     {"marginal_max", hi}})) {
+      ++violations;
+    }
+  }
+
+  return violations;
+}
+
+}  // namespace lbmv::core

@@ -5,6 +5,7 @@
 
 #include "lbmv/alloc/pr_allocator.h"
 #include "lbmv/core/batch.h"
+#include "lbmv/core/invariants.h"
 #include "lbmv/core/simd_round.h"
 #include "lbmv/obs/probes.h"
 #include "lbmv/util/error.h"
@@ -79,6 +80,15 @@ void Mechanism::run_into(const model::LatencyFamily& family,
         probes.round_payment.record(agent.payment);
         probes.round_bonus.record(agent.bonus);
       }
+      // The vectorized engine only engages on PR-on-linear rounds, so the
+      // full monitor set (feasibility, decomposition, participation, KKT)
+      // is armed.
+      check_round_invariants(
+          bids, executions, arrival_rate, out,
+          RoundInvariantOptions{
+              /*linear_pr=*/true,
+              /*participation_guaranteed=*/
+              guarantees_voluntary_participation()});
     }
     return;
   }
@@ -167,6 +177,12 @@ void Mechanism::run_into(const model::LatencyFamily& family,
       probes.round_payment.record(agent.payment);
       probes.round_bonus.record(agent.bonus);
     }
+    check_round_invariants(
+        bids, executions, arrival_rate, out,
+        RoundInvariantOptions{
+            /*linear_pr=*/ws.linear_fast && ws.pr_closed_form,
+            /*participation_guaranteed=*/
+            guarantees_voluntary_participation()});
   }
 }
 

@@ -205,6 +205,17 @@ class Mechanism {
   /// bids alone and slow execution goes unpunished.
   [[nodiscard]] virtual bool uses_verification() const = 0;
 
+  /// Whether the mechanism guarantees nonnegative utility to agents that
+  /// execute exactly as bid (voluntary participation, paper Thm 3.2 —
+  /// which every leave-one-out bonus rule satisfies at *any* consistent
+  /// profile, not just the truthful one).  The online invariant monitors
+  /// (core/invariants.h) arm the participation check only when this holds;
+  /// the no-payment baseline opts out (agents eat their cost unpaid by
+  /// design).
+  [[nodiscard]] virtual bool guarantees_voluntary_participation() const {
+    return true;
+  }
+
   /// The payment rule the vectorized round engine should apply on eligible
   /// rounds, or kNone (the default) to always run the scalar kernels.  A
   /// mechanism that overrides this promises its fill_payments is exactly the

@@ -26,6 +26,11 @@ class NoPaymentMechanism final : public Mechanism {
 
   [[nodiscard]] std::string name() const override { return "no-payment"; }
   [[nodiscard]] bool uses_verification() const override { return false; }
+  /// Unpaid agents eat their execution cost, so utility is negative by
+  /// design — the participation monitor must not flag this baseline.
+  [[nodiscard]] bool guarantees_voluntary_participation() const override {
+    return false;
+  }
   [[nodiscard]] VectorRule vector_rule() const override {
     return VectorRule::kNoPayment;
   }

@@ -6,6 +6,7 @@
 
 #include "lbmv/alloc/pr_allocator.h"
 #include "lbmv/core/archer_tardos.h"
+#include "lbmv/obs/monitor.h"
 #include "lbmv/util/error.h"
 
 namespace lbmv::core {
@@ -147,12 +148,29 @@ double LinearPrProfileContext::actual_after(std::size_t agent, double s,
 }
 
 void LinearPrProfileContext::rebuild() {
+  const double incremental_s = s_;
+  const double incremental_w = w_;
+  const bool periodic = commits_since_rebuild_ > 0;
   s_ = 0.0;
   w_ = 0.0;
   for (std::size_t j = 0; j < profile_.size(); ++j) {
     const double inv = 1.0 / profile_.bids[j];
     s_ += inv;
     w_ += profile_.executions[j] * inv * inv;
+  }
+  if (periodic && obs::enabled()) {
+    // How far the O(1) commit deltas drifted from the exact sums over one
+    // rebuild period — the PR-4 drift bound, observed live instead of
+    // assumed (the differential suite holds it below 1e-9; the monitor
+    // flags any round where accumulated cancellation breaks that).
+    const double drift_s = std::fabs(incremental_s - s_) / std::fabs(s_);
+    const double drift_w =
+        std::fabs(incremental_w - w_) / std::max(std::fabs(w_), 1e-300);
+    obs::Monitors::get().context_drift.check(
+        std::max(drift_s, drift_w),
+        {{"n", static_cast<double>(profile_.size())},
+         {"drift_s", drift_s},
+         {"drift_w", drift_w}});
   }
   commits_since_rebuild_ = 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <atomic>
 #include <bit>
 #include <cmath>
@@ -266,6 +267,10 @@ void Histogram::detail_record(double value) {
 
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot snap;
+  snap.timestamp_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
   std::vector<std::string> counter_names, gauge_names, histogram_names;
   std::vector<std::shared_ptr<Shard>> shards;
   {
@@ -361,8 +366,12 @@ double HistogramSnapshot::quantile(double q) const {
 
 // ---- exposition ------------------------------------------------------------
 
-std::string MetricsSnapshot::to_prometheus() const {
+std::string MetricsSnapshot::to_prometheus(bool with_timestamps) const {
   std::ostringstream os;
+  std::string stamp;
+  if (with_timestamps) {
+    stamp = ' ' + std::to_string(timestamp_ms);
+  }
   std::string last_type_line;
   const auto type_line = [&](std::string_view name, const char* type) {
     const auto [family, labels] = split_labels(name);
@@ -375,13 +384,13 @@ std::string MetricsSnapshot::to_prometheus() const {
   };
   for (const auto& [name, value] : counters) {
     type_line(name, "counter");
-    os << name << ' ' << value << '\n';
+    os << name << ' ' << value << stamp << '\n';
   }
   for (const auto& [name, value] : gauges) {
     type_line(name, "gauge");
     char buf[40];
     std::snprintf(buf, sizeof buf, "%.17g", value);
-    os << name << ' ' << buf << '\n';
+    os << name << ' ' << buf << stamp << '\n';
   }
   for (const auto& [name, hist] : histograms) {
     type_line(name, "histogram");
@@ -411,13 +420,15 @@ std::string MetricsSnapshot::to_prometheus() const {
       } else {
         std::snprintf(le, sizeof le, "le=\"%.10g\"", upper);
       }
-      os << with_labels("_bucket", le) << ' ' << hist.buckets[b] << '\n';
+      os << with_labels("_bucket", le) << ' ' << hist.buckets[b] << stamp
+         << '\n';
     }
-    os << with_labels("_bucket", "le=\"+Inf\"") << ' ' << hist.count << '\n';
+    os << with_labels("_bucket", "le=\"+Inf\"") << ' ' << hist.count << stamp
+       << '\n';
     char buf[40];
     std::snprintf(buf, sizeof buf, "%.17g", hist.sum);
-    os << with_labels("_sum", "") << ' ' << buf << '\n';
-    os << with_labels("_count", "") << ' ' << hist.count << '\n';
+    os << with_labels("_sum", "") << ' ' << buf << stamp << '\n';
+    os << with_labels("_count", "") << ' ' << hist.count << stamp << '\n';
   }
   return os.str();
 }

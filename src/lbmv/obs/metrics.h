@@ -172,13 +172,18 @@ struct HistogramSnapshot {
 
 /// Point-in-time merge of every shard of a registry.
 struct MetricsSnapshot {
+  /// Wall clock at merge time (Unix milliseconds), stamped by
+  /// Registry::snapshot(); the exposition timestamp base shared with the
+  /// time-series sampler (sampler.h).
+  std::uint64_t timestamp_ms = 0;
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
 
   /// Prometheus text exposition format (counters, gauges, cumulative
-  /// histogram buckets with `le` labels).
-  [[nodiscard]] std::string to_prometheus() const;
+  /// histogram buckets with `le` labels).  With \p with_timestamps every
+  /// sample line carries the snapshot's timestamp_ms.
+  [[nodiscard]] std::string to_prometheus(bool with_timestamps = false) const;
   /// Plain JSON document: {"counters": {...}, "gauges": {...},
   /// "histograms": {name: {count, sum, min, max, mean, p50, p95, p99,
   /// buckets: [{le, count}...]}}}.  Only non-empty buckets are emitted;

@@ -1,0 +1,77 @@
+#include "lbmv/obs/monitor.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace lbmv::obs {
+
+namespace {
+
+std::string monitor_metric(const char* name, const char* suffix) {
+  std::string out = "lbmv_monitor_";
+  out += name;
+  out += suffix;
+  return out;
+}
+
+}  // namespace
+
+InvariantMonitor::InvariantMonitor(const char* name, const char* subsystem,
+                                   double tolerance)
+    : name_(name),
+      subsystem_(subsystem),
+      tolerance_(tolerance),
+      checks_(Registry::global().counter(monitor_metric(name, "_checks_total"))),
+      violations_(
+          Registry::global().counter(monitor_metric(name, "_violations_total"))),
+      residual_(Registry::global().histogram(monitor_metric(name, "_residual"))) {
+}
+
+bool InvariantMonitor::check(
+    double residual, std::initializer_list<FlightRecord::KeyValue> payload) {
+  const double magnitude = std::fabs(residual);
+  checks_.inc();
+  residual_.record(magnitude);
+  if (!(magnitude > tolerance_)) return true;  // NaN tolerance never fires
+  violations_.inc();
+  FlightRecord::KeyValue kv[FlightRecord::kMaxKeyValues];
+  std::size_t count = 0;
+  kv[count++] = {"residual", residual};
+  for (const FlightRecord::KeyValue& extra : payload) {
+    if (count >= FlightRecord::kMaxKeyValues) break;
+    kv[count++] = extra;
+  }
+#if LBMV_OBS
+  FlightRecorder::global().record(Severity::kError, subsystem_, name_, kv,
+                                  count);
+#endif
+  return false;
+}
+
+Monitors& Monitors::get() {
+  static Monitors monitors;
+  return monitors;
+}
+
+MonitorTotals monitor_totals(const MetricsSnapshot& snapshot) {
+  MonitorTotals totals;
+  constexpr std::string_view kPrefix = "lbmv_monitor_";
+  constexpr std::string_view kChecks = "_checks_total";
+  constexpr std::string_view kViolations = "_violations_total";
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    const auto ends_with = [&](std::string_view suffix) {
+      return name.size() >= suffix.size() &&
+             name.compare(name.size() - suffix.size(), suffix.size(),
+                          suffix) == 0;
+    };
+    if (ends_with(kViolations)) {
+      totals.violations += value;
+    } else if (ends_with(kChecks)) {
+      totals.checks += value;
+    }
+  }
+  return totals;
+}
+
+}  // namespace lbmv::obs

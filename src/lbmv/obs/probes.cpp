@@ -15,7 +15,7 @@ SimProbes& SimProbes::get() {
           r.counter(labeled("lbmv_sim_events_kind_total", "kind", kKinds[k]));
     }
     p.window_refills = r.counter("lbmv_sim_window_refills_total");
-    p.source_jobs = r.counter("lbmv_source_jobs_total");
+    p.source_jobs = r.counter("lbmv_sim_source_jobs_total");
     p.queue_depth = r.gauge("lbmv_sim_queue_depth");
     p.slab_in_use = r.gauge("lbmv_sim_closure_slab_in_use");
     p.window_fill = r.histogram("lbmv_sim_window_fill_events");

@@ -14,7 +14,7 @@
 ///     lbmv_sim_events_total                   events dispatched
 ///     lbmv_sim_events_kind_total{kind=...}    per EventKind
 ///     lbmv_sim_window_refills_total           calendar window refills
-///     lbmv_source_jobs_total                  jobs emitted by JobSource
+///     lbmv_sim_source_jobs_total              jobs emitted by JobSource
 ///     lbmv_server_arrivals_total{server=...}  per-server submissions
 ///     lbmv_server_completions_total{server=...}
 ///     lbmv_mech_rounds_total                  mechanism rounds (run/run_into)

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "lbmv/core/batch.h"
+#include "lbmv/obs/monitor.h"
 #include "lbmv/obs/probes.h"
 #include "lbmv/obs/trace.h"
 #include "lbmv/sim/job_source.h"
@@ -49,6 +50,18 @@ RoundReport VerifiedProtocol::run_round(const model::SystemConfig& config,
   report.allocation = mechanism_->allocator().allocate(
       config.family(), intents.bids, config.arrival_rate());
   report.messages += n;
+  if (obs::enabled()) {
+    // Mass balance on the wire: the assignment shipped to the servers
+    // must carry exactly R jobs/s (same identity run_into checks on its
+    // own allocation, but this is the one the simulator actually runs).
+    double shipped = 0.0;
+    for (const double rate : report.allocation.rates()) shipped += rate;
+    obs::Monitors::get().protocol_mass_balance.check(
+        (shipped - config.arrival_rate()) / config.arrival_rate(),
+        {{"n", static_cast<double>(n)},
+         {"shipped", shipped},
+         {"arrival_rate", config.arrival_rate()}});
+  }
 
   // Step 3: execute the jobs on simulated servers.
   util::Rng rng(seed);
@@ -105,6 +118,15 @@ RoundReport VerifiedProtocol::run_round(const model::SystemConfig& config,
   mechanism_->run_into(config, verified, report.outcome, ws);
   mechanism_->run_into(config, intents, report.oracle_outcome, ws);
   report.messages += n;
+  if (obs::enabled()) {
+    // Record-only residual gauge: how much the estimation noise moved the
+    // money, |P_est - P_oracle| / max(1, |P_oracle|) on round totals.
+    const double oracle = report.oracle_outcome.total_payment();
+    const double estimated = report.outcome.total_payment();
+    obs::Monitors::get().protocol_estimate_gap.check(
+        (estimated - oracle) / std::max(1.0, std::fabs(oracle)),
+        {{"estimated_total", estimated}, {"oracle_total", oracle}});
+  }
   return report;
 }
 

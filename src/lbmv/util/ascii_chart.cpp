@@ -172,4 +172,27 @@ std::string line_chart(const std::string& title,
   return os.str();
 }
 
+std::string sparkline(const std::vector<double>& values) {
+  static constexpr char kRamp[] = "_.-:=+*#";  // 8 levels, low to high
+  constexpr int kLevels = 8;
+  if (values.empty()) return {};
+  double lo = values.front();
+  double hi = lo;
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  out.reserve(values.size());
+  for (const double v : values) {
+    int level = kLevels / 2;  // flat series sit mid-ramp
+    if (hi > lo) {
+      level = static_cast<int>((v - lo) / (hi - lo) * (kLevels - 1) + 0.5);
+      level = std::clamp(level, 0, kLevels - 1);
+    }
+    out.push_back(kRamp[level]);
+  }
+  return out;
+}
+
 }  // namespace lbmv::util

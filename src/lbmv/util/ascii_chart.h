@@ -46,4 +46,10 @@ struct Series {
                                      const std::vector<Series>& series,
                                      int width = 72, int height = 20);
 
+/// One-line sparkline: each value becomes one glyph from a 8-level ASCII
+/// ramp, scaled to [min, max] of \p values (all-equal series render flat
+/// mid-ramp).  Empty input yields an empty string.  Used by the `lbmv obs
+/// --watch` delta panels.
+[[nodiscard]] std::string sparkline(const std::vector<double>& values);
+
 }  // namespace lbmv::util

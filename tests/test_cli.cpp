@@ -299,7 +299,7 @@ TEST(Cli, ObsJsonSnapshotParsesWithDocumentedFamilies) {
   const auto& histograms = doc.at("histograms");
   for (const char* family :
        {"lbmv_sim_events_total", "lbmv_sim_window_refills_total",
-        "lbmv_source_jobs_total", "lbmv_mech_rounds_total",
+        "lbmv_sim_source_jobs_total", "lbmv_mech_rounds_total",
         "lbmv_mech_leave_one_out_batches_total",
         "lbmv_protocol_rounds_total", "lbmv_protocol_replications_total",
         "lbmv_pool_tasks_total"}) {

@@ -4,12 +4,19 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
 
 #include "lbmv/core/comp_bonus.h"
 #include "lbmv/model/system_config.h"
+#include "lbmv/obs/flight_recorder.h"
 #include "lbmv/obs/metrics.h"
 #include "lbmv/obs/obs.h"
+#include "lbmv/obs/sampler.h"
 #include "lbmv/obs/trace.h"
 #include "lbmv/sim/protocol.h"
 #include "lbmv/util/json.h"
@@ -86,6 +93,121 @@ TEST(TraceRecorder, EmptyRecorderStillEmitsValidJson) {
   const TraceRecorder recorder;
   const auto doc = lbmv::util::JsonValue::parse(recorder.to_chrome_json());
   EXPECT_TRUE(doc.at("traceEvents").as_array().empty());
+}
+
+TEST(TraceRecorder, ConcurrentSpanEmissionKeepsEveryThreadsTail) {
+  SKIP_IF_COMPILED_OUT();
+  EnabledScope on;
+  TraceRecorder recorder(/*capacity_per_thread=*/64);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kSpansPerThread = 200;  // > capacity: rings wrap
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&recorder] {
+      for (std::uint64_t i = 0; i < kSpansPerThread; ++i) {
+        recorder.record("worker_span", "test", /*start_ns=*/i,
+                        /*duration_ns=*/1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto events = recorder.events();
+  EXPECT_EQ(events.size(), std::size_t{kThreads} * 64u);
+  EXPECT_EQ(recorder.dropped(), kThreads * (kSpansPerThread - 64));
+}
+
+TEST(TraceRecorder, ScrapeDuringEmissionSeesConsistentSpans) {
+  SKIP_IF_COMPILED_OUT();
+  EnabledScope on;
+  TraceRecorder recorder(/*capacity_per_thread=*/128);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> emitters;
+  for (int t = 0; t < 2; ++t) {
+    emitters.emplace_back([&] {
+      // At least one ring-wrap's worth even if the scraper finishes first.
+      std::uint64_t i = 0;
+      while (i < 300 || !stop.load(std::memory_order_relaxed)) {
+        recorder.record("live_span", "test", ++i, 7);
+      }
+    });
+  }
+  // Scrape concurrently with the emitters; every copied-out event must be
+  // fully formed (the JSON export also walks the rings under the lock).
+  for (int scrape = 0; scrape < 50; ++scrape) {
+    for (const TraceEvent& e : recorder.events()) {
+      EXPECT_EQ(std::string_view(e.name), "live_span");
+      EXPECT_EQ(e.duration_ns, 7u);
+      EXPECT_GT(e.start_ns, 0u);
+    }
+    (void)recorder.to_chrome_json();
+  }
+  stop.store(true);
+  for (auto& e : emitters) e.join();
+}
+
+TEST(FlightRecorder, ScrapeDuringEmissionSeesConsistentRecords) {
+  SKIP_IF_COMPILED_OUT();
+  EnabledScope on;
+  FlightRecorder recorder(/*capacity_per_thread=*/128);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> emitters;
+  for (int t = 0; t < 2; ++t) {
+    emitters.emplace_back([&] {
+      // At least one ring-wrap's worth even if the scraper finishes first.
+      std::uint64_t i = 0;
+      while (i < 300 || !stop.load(std::memory_order_relaxed)) {
+        recorder.record(Severity::kWarn, "test", "live_record",
+                        {{"i", static_cast<double>(++i)}, {"k", 2.0}});
+      }
+    });
+  }
+  for (int scrape = 0; scrape < 50; ++scrape) {
+    for (const FlightRecord& rec : recorder.records()) {
+      EXPECT_EQ(std::string_view(rec.message), "live_record");
+      EXPECT_EQ(rec.severity, Severity::kWarn);
+      ASSERT_EQ(rec.kv_count, 2u);
+      EXPECT_GT(rec.kv[0].value, 0.0);
+      EXPECT_DOUBLE_EQ(rec.kv[1].value, 2.0);
+    }
+    (void)recorder.to_jsonl();
+  }
+  stop.store(true);
+  for (auto& e : emitters) e.join();
+  EXPECT_EQ(recorder.records().size(), 2u * 128u);
+}
+
+TEST(SamplerConcurrency, BackgroundScraperOverlapsEmittersAndReaders) {
+  SKIP_IF_COMPILED_OUT();
+  EnabledScope on;
+  Registry registry;
+  Counter ticks = registry.counter("lbmv_test_concurrent_ticks_total");
+  TimeSeriesSampler sampler(registry, /*capacity_per_series=*/32);
+  sampler.start(std::chrono::milliseconds(1));
+  EXPECT_TRUE(sampler.running());
+
+  std::atomic<bool> stop{false};
+  std::thread emitter([&] {
+    while (!stop.load(std::memory_order_relaxed)) ticks.inc();
+  });
+  // Reads race the background scraper on purpose.
+  for (int i = 0; i < 20; ++i) {
+    (void)sampler.rate_per_sec("lbmv_test_concurrent_ticks_total");
+    (void)sampler.series();
+    (void)sampler.to_json();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true);
+  emitter.join();
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  EXPECT_GE(sampler.sample_count(), 2u);
+
+  // Monotone counter: the sampled series must be nondecreasing.
+  const SeriesView view =
+      sampler.series_for("lbmv_test_concurrent_ticks_total");
+  for (std::size_t p = 1; p < view.points.size(); ++p) {
+    EXPECT_LE(view.points[p - 1].value, view.points[p].value);
+  }
 }
 
 TEST(ObsIntegration, ProtocolRoundCountersMatchSystemMetrics) {

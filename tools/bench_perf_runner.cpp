@@ -47,6 +47,12 @@
 // GridEvaluator fanned over an 8-thread pool — all in this same run — with
 // a 1e-9 vectorized-vs-scalar differential gate on the exit code.
 //
+// plus an `obs_timeseries` section for the live-telemetry pipeline
+// (DESIGN.md §9): the single-round hot path timed with recording disabled
+// vs enabled (probes + invariant monitors live), the time-series sampler's
+// per-scrape cost, and a zero-violations monitor gate on the exit code
+// that dumps the flight recorder as JSONL when it fails.
+//
 // The emitted document carries a top-level `sections` manifest listing
 // every section key actually written, so consumers (the CI perf-smoke
 // check) can assert the documented shape matches the real one instead of
@@ -54,9 +60,9 @@
 //
 // `--smoke` shrinks every workload (CI-sized: n = 64, short timing
 // windows, sim/obs sections skipped) while still emitting the
-// strategy_throughput, batch_round_throughput, and deviation_grid sections
-// (the latter keeping its n = 256 row so the speedup gate stays
-// meaningful) and running the full cross-checks.
+// strategy_throughput, batch_round_throughput, deviation_grid, and
+// obs_timeseries sections (deviation_grid keeping its n = 256 row so the
+// speedup gate stays meaningful) and running the full cross-checks.
 
 #include <chrono>
 #include <cmath>
@@ -75,8 +81,11 @@
 #include "lbmv/core/comp_bonus.h"
 #include "lbmv/model/bids.h"
 #include "lbmv/model/system_config.h"
+#include "lbmv/obs/flight_recorder.h"
 #include "lbmv/obs/metrics.h"
+#include "lbmv/obs/monitor.h"
 #include "lbmv/obs/obs.h"
+#include "lbmv/obs/sampler.h"
 #include "lbmv/sim/engine.h"
 #include "lbmv/sim/job_source.h"
 #include "lbmv/sim/legacy_engine.h"
@@ -479,6 +488,7 @@ int main(int argc, char** argv) {
     sim_throughput["replicated_rounds"] = std::move(reps);
     sim_throughput["hardware_concurrency"] =
         static_cast<double>(std::thread::hardware_concurrency());
+    sim_throughput["threads_used"] = 8.0;  // widest replication pool above
     sim_throughput["note"] =
         "dispatch = self-rescheduling sink ring (pure event-loop cost, no "
         "RNG); full_stack shares RNG/queue bookkeeping between both loops, "
@@ -511,6 +521,9 @@ int main(int argc, char** argv) {
     lbmv::obs::Registry::global().reset();
     obs_overhead["event_loop_dispatch"] = std::move(dispatch);
     obs_overhead["compiled_in"] = lbmv::obs::kCompiledIn;
+    obs_overhead["hardware_concurrency"] =
+        static_cast<double>(std::thread::hardware_concurrency());
+    obs_overhead["threads_used"] = 1.0;  // single-threaded dispatch ring
     obs_overhead["note"] =
         "disabled_events_per_sec uses the identical ring workload as "
         "sim_throughput.event_loop_dispatch.typed_events_per_sec; with "
@@ -654,6 +667,8 @@ int main(int argc, char** argv) {
     strategy_throughput["cross_check_pass"] = cross_check_pass;
     strategy_throughput["hardware_concurrency"] =
         static_cast<double>(std::thread::hardware_concurrency());
+    strategy_throughput["threads_used"] =
+        8.0;  // widest tournament/learning pool above
     strategy_throughput["note"] =
         "naive_seconds re-runs the full mechanism per grid point "
         "(use_incremental = false) in the same process as the incremental "
@@ -978,6 +993,7 @@ int main(int argc, char** argv) {
         std::string(lbmv::util::simd::backend_name());
     deviation_grid["hardware_concurrency"] =
         static_cast<double>(std::thread::hardware_concurrency());
+    deviation_grid["threads_used"] = 8.0;  // the pooled sweep's fixed pool
     deviation_grid["note"] =
         "scalar_evals_per_sec scans the same per-agent candidate grids "
         "through DeviationEvaluator::utility one point at a time in this "
@@ -988,6 +1004,92 @@ int main(int argc, char** argv) {
         "scaling is bounded by hardware_concurrency";
     std::cout << "deviation grid cross-check: max rel err " << max_err
               << " -> " << (grid_check_pass ? "pass" : "FAIL") << "\n";
+  }
+
+  // Live-telemetry pipeline (DESIGN.md §9): runtime cost of the invariant
+  // monitors on the single-round hot path (recording disabled vs enabled in
+  // this same process), the time-series sampler's per-scrape cost, and a
+  // zero-violations gate over every monitored round in the timed windows.
+  // A gate failure dumps the flight recorder next to the document so the
+  // offending rounds are attributable.
+  JsonValue::Object obs_timeseries;
+  bool obs_check_pass = true;
+  {
+    const std::size_t n = smoke ? 64 : 256;
+    const double tmin = smoke ? 0.05 : 0.3;
+    const int treps = smoke ? 2 : 3;
+    const lbmv::core::CompBonusMechanism mechanism;
+    const auto bids = random_types(n, 31);
+    const auto execs = bids;  // consistent: arms the participation monitor
+    lbmv::core::RoundWorkspace ws;
+    lbmv::core::MechanismOutcome outcome;
+    constexpr lbmv::core::RoundOptions serial_round{/*shards=*/1,
+                                                    /*pool=*/nullptr};
+    const auto one_round = [&] {
+      mechanism.run_into(family, arrival_rate, bids, execs, outcome, ws,
+                         serial_round);
+    };
+
+    lbmv::obs::Registry::global().reset();
+    lbmv::obs::FlightRecorder::global().clear();
+    lbmv::obs::set_enabled(false);
+    const double disabled_secs = seconds_per_call(one_round, tmin, treps);
+    lbmv::obs::set_enabled(true);
+    const double enabled_secs = seconds_per_call(one_round, tmin, treps);
+
+    // Sampler cost: one scrape of the registry the run above populated
+    // (shard merge + ring append per live metric).
+    lbmv::obs::TimeSeriesSampler sampler;
+    const double sample_secs =
+        seconds_per_call([&] { sampler.sample(); }, tmin, treps);
+    lbmv::obs::set_enabled(false);
+
+    const lbmv::obs::MetricsSnapshot snap =
+        lbmv::obs::Registry::global().snapshot();
+    const lbmv::obs::MonitorTotals totals = lbmv::obs::monitor_totals(snap);
+    if (lbmv::obs::kCompiledIn &&
+        (totals.checks == 0 || totals.violations != 0)) {
+      obs_check_pass = false;
+      const std::string dump = "BENCH_flight_fail.jsonl";
+      (void)lbmv::obs::FlightRecorder::global().dump_jsonl(dump);
+      std::cerr << "obs monitors: " << totals.violations << " violations in "
+                << totals.checks << " checks -> " << dump << "\n";
+    }
+    lbmv::obs::Registry::global().reset();
+    lbmv::obs::FlightRecorder::global().clear();
+
+    obs_timeseries["n"] = static_cast<double>(n);
+    obs_timeseries["disabled_rounds_per_sec"] = 1.0 / disabled_secs;
+    obs_timeseries["enabled_rounds_per_sec"] = 1.0 / enabled_secs;
+    obs_timeseries["enabled_over_disabled_cost"] =
+        enabled_secs / disabled_secs;
+    obs_timeseries["sampler_seconds_per_sample"] = sample_secs;
+    obs_timeseries["sampled_series"] =
+        static_cast<double>(sampler.series().size());
+    obs_timeseries["monitor_checks"] = static_cast<double>(totals.checks);
+    obs_timeseries["monitor_violations"] =
+        static_cast<double>(totals.violations);
+    obs_timeseries["compiled_in"] = lbmv::obs::kCompiledIn;
+    obs_timeseries["cross_check_pass"] = obs_check_pass;
+    obs_timeseries["hardware_concurrency"] =
+        static_cast<double>(std::thread::hardware_concurrency());
+    obs_timeseries["threads_used"] = 1.0;  // serial single-round hot path
+    obs_timeseries["note"] =
+        "disabled/enabled time the identical single-round hot path with "
+        "recording off (one relaxed load per probe and monitor site) and on "
+        "(probes + the four round-invariant monitors live), so their ratio "
+        "is the runtime telemetry cost; sampler_seconds_per_sample is one "
+        "registry scrape into the ring-buffered timeseries; the gate "
+        "requires every monitored round in the timed windows to be "
+        "violation-free";
+    std::cout << "obs_timeseries n=" << n << ": disabled "
+              << 1.0 / disabled_secs << " rounds/s, enabled "
+              << 1.0 / enabled_secs << " (cost "
+              << (enabled_secs / disabled_secs - 1.0) * 100.0
+              << "%), sampler " << sample_secs * 1e6 << " us/sample, "
+              << totals.checks << " checks / " << totals.violations
+              << " violations -> " << (obs_check_pass ? "pass" : "FAIL")
+              << "\n";
   }
 
   JsonValue::Object doc;
@@ -1003,6 +1105,7 @@ int main(int argc, char** argv) {
   doc["strategy_throughput"] = std::move(strategy_throughput);
   doc["batch_round_throughput"] = std::move(batch_round_throughput);
   doc["deviation_grid"] = std::move(deviation_grid);
+  doc["obs_timeseries"] = std::move(obs_timeseries);
 
   // Machine-checkable shape manifest: every composite (object/array)
   // section actually present in this document, in dump order.  The CI
@@ -1033,6 +1136,10 @@ int main(int argc, char** argv) {
   }
   if (!grid_check_pass) {
     std::cerr << "deviation grid kernels cross-check FAILED\n";
+    return 1;
+  }
+  if (!obs_check_pass) {
+    std::cerr << "obs invariant-monitor gate FAILED\n";
     return 1;
   }
   return 0;
