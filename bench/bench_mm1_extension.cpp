@@ -2,16 +2,17 @@
 //
 // Grosu & Chronopoulos (Cluster 2002) treat computers as M/M/1 queues with
 // expected response time 1/(mu - x).  The compensation-and-bonus
-// construction only needs an exact allocator, so we rerun the Table 2
-// deviation study on an M/M/1 system using the general convex solver and
-// verify the same qualitative story: truthful execution minimises total
-// latency, the deviator's utility peaks at truth, and voluntary
-// participation holds.
+// construction only needs an exact allocator; since PR-9 that allocator is
+// the closed-form MM1Allocator riding the fused nonlinear round kernels
+// (core/family_round.h, DESIGN.md §14) and the audit rides the M/M/1
+// deviation-grid kernels — this bench is the qualitative story on top of
+// that stack: truthful execution minimises total latency, the deviator's
+// utility peaks at truth, and voluntary participation holds.
 
 #include <cstdio>
 #include <memory>
 
-#include "lbmv/alloc/convex_allocator.h"
+#include "lbmv/alloc/mm1_allocator.h"
 #include "lbmv/core/audit.h"
 #include "lbmv/core/comp_bonus.h"
 #include "lbmv/model/bids.h"
@@ -27,7 +28,7 @@ int main() {
   const model::SystemConfig config({0.1, 0.1, 0.2, 0.5, 0.5}, 12.0,
                                    family);
   const core::CompBonusMechanism mechanism(
-      std::make_shared<alloc::ConvexAllocator>());
+      std::make_shared<const alloc::MM1Allocator>());
 
   struct Case {
     const char* name;
@@ -67,7 +68,9 @@ int main() {
       "paper's linear model.\n\n");
 
   // Audit the deviator across a bid/execution grid kept inside the
-  // stability region (see OVERLOAD note above).
+  // stability region (see OVERLOAD note above).  With the MM1Allocator the
+  // auditor holds an Mm1PrProfileContext, so these rows sweep four
+  // candidate bids per instruction through the §14 grid kernels.
   const core::TruthfulnessAuditor auditor(mechanism);
   core::AuditOptions options;
   options.bid_multipliers = {0.85, 0.9, 1.0, 1.2, 1.5, 2.0, 3.0};

@@ -13,26 +13,70 @@
 ///
 /// over the active set A = { i : sqrt(mu_i) > (sum_A mu_j - R)/sum_A sqrt(mu_j) },
 /// found by iteratively dropping computers that would receive negative load.
+///
+/// With a = sqrt(mu) the per-computer queue length collapses to
+/// x_i/(mu_i - x_i) = a_i/c - 1 for active computers, so the optimal total
+/// latency is (sum_A a_j)/c - |A| — every derived quantity the mechanism
+/// needs (optimum, leave-one-out vector) is closed-form too.
 
+#include <cstddef>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "lbmv/alloc/allocator.h"
 
 namespace lbmv::alloc {
+
+/// Minimum fraction of the remaining capacity sum the leave-one-out slack
+/// sum_{j != i} mu_j - R must retain (mirroring kLeaveOneOutMinRelativeGap
+/// for the PR closed form): below this the subtraction has cancelled ~9
+/// decimal digits and the closed form would return noise, so such profiles
+/// fail a typed PreconditionError naming the dominant agent instead.
+inline constexpr double kMm1MinRelativeSlack = 1e-9;
+
+/// Everything one M/M/1 closed-form solve derives.
+struct Mm1Solve {
+  double c = 0.0;            ///< (sum_A mu_j - R) / sum_A sqrt(mu_j)
+  std::size_t active = 0;    ///< |A|: computers receiving positive load
+  double sum_sqrt_active = 0.0;  ///< sum_A sqrt(mu_j)
+  double optimal_latency = 0.0;  ///< min sum_i x_i/(mu_i - x_i)
+};
+
+/// Fused solve: fills rates_out[i] (mus.size() slots, zero for dropped
+/// computers) and returns the solve summary including the closed-form
+/// optimum.  Throws PreconditionError when arrival_rate >= sum(mus).
+Mm1Solve mm1_solve_into(std::span<const double> mus, double arrival_rate,
+                        std::span<double> rates_out);
 
 /// Closed-form allocation for service rates \p mus.  Requires
 /// 0 < arrival_rate < sum(mus).
 [[nodiscard]] model::Allocation mm1_allocate(std::span<const double> mus,
                                              double arrival_rate);
 
+/// Closed-form optimal total latency min sum_i x_i/(mu_i - x_i).
+[[nodiscard]] double mm1_optimal_latency(std::span<const double> mus,
+                                         double arrival_rate);
+
 /// Allocator-interface wrapper.  Interprets types as mean service times
-/// theta_i = 1/mu_i (matching MM1Family); rejects other families.
+/// theta_i = 1/mu_i (matching MM1Family); rejects other families.  Exact,
+/// so the compensation-and-bonus truthfulness construction applies, and the
+/// closed-form overrides below keep the batched payment engine O(n) per
+/// leave-one-out vector instead of O(n^2 log n) re-solves.
 class MM1Allocator final : public Allocator {
  public:
   [[nodiscard]] model::Allocation allocate(
       const model::LatencyFamily& family, std::span<const double> types,
       double arrival_rate) const override;
+  void allocate_into(const model::LatencyFamily& family,
+                     std::span<const double> types, double arrival_rate,
+                     std::vector<double>& rates) const override;
+  [[nodiscard]] double optimal_latency(const model::LatencyFamily& family,
+                                       std::span<const double> types,
+                                       double arrival_rate) const override;
+  void leave_one_out_into(const model::LatencyFamily& family,
+                          std::span<const double> types, double arrival_rate,
+                          std::vector<double>& out) const override;
   [[nodiscard]] std::string name() const override { return "mm1"; }
 };
 

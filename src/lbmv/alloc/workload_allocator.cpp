@@ -1,0 +1,178 @@
+#include "lbmv/alloc/workload_allocator.h"
+
+#include <cmath>
+
+#include "lbmv/util/error.h"
+#include "lbmv/util/simd.h"
+
+namespace lbmv::alloc {
+
+namespace {
+
+namespace simd = util::simd;
+
+/// One evaluation of the conservation residual g(lambda) = sum x_i - R and
+/// its derivative g'(lambda) = sum 1/(2 theta_i s_i), s_i = sqrt(1 + 3
+/// gamma lambda / theta_i), in a single 4-lane pass over the theta plane.
+struct Residual {
+  double g = 0.0;
+  double gp = 0.0;
+};
+
+Residual eval_residual(std::span<const double> thetas, double gamma,
+                       double arrival_rate, double lambda) {
+  const std::size_t n = thetas.size();
+  const double k3gl = 3.0 * gamma * lambda;
+  const double inv3g = 1.0 / (3.0 * gamma);
+  const simd::DVec one = simd::set1(1.0);
+  simd::DVec vg = simd::zero();
+  simd::DVec vgp = simd::zero();
+  std::size_t i = 0;
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    const simd::DVec t = simd::load(&thetas[i]);
+    const simd::DVec s =
+        simd::sqrt(simd::add(one, simd::div(simd::set1(k3gl), t)));
+    vg = simd::add(vg, simd::mul(simd::sub(s, one), simd::set1(inv3g)));
+    vgp = simd::add(
+        vgp, simd::div(one, simd::mul(simd::set1(2.0), simd::mul(t, s))));
+  }
+  Residual r;
+  r.g = simd::hsum(vg);
+  r.gp = simd::hsum(vgp);
+  for (; i < n; ++i) {
+    const double s = std::sqrt(1.0 + k3gl / thetas[i]);
+    r.g += (s - 1.0) * inv3g;
+    r.gp += 1.0 / (2.0 * thetas[i] * s);
+  }
+  r.g -= arrival_rate;
+  return r;
+}
+
+}  // namespace
+
+WorkloadSolve workload_solve_into(std::span<const double> thetas, double gamma,
+                                  double arrival_rate,
+                                  std::span<double> rates_out,
+                                  double warm_start_lambda) {
+  const std::size_t n = thetas.size();
+  LBMV_REQUIRE(n > 0, "need at least one computer");
+  LBMV_REQUIRE(gamma > 0.0, "workload congestion coefficient must be positive");
+  LBMV_REQUIRE(arrival_rate > 0.0, "arrival rate must be positive");
+  LBMV_REQUIRE(rates_out.size() == n, "rates_out size mismatch");
+
+  double lambda = warm_start_lambda;
+  if (!(lambda > 0.0)) {
+    // Linear-model estimate: x_i ~ lambda/(2 theta_i) overestimates the true
+    // x_i(lambda), so g(2R/S) <= 0 and the monotone Newton applies.
+    double inv_sum = 0.0;
+    for (double t : thetas) {
+      LBMV_REQUIRE(t > 0.0, "types must be positive");
+      inv_sum += 1.0 / t;
+    }
+    lambda = 2.0 * arrival_rate / inv_sum;
+  }
+
+  WorkloadSolve solve;
+  for (std::size_t iter = 0; iter < kWorkloadNewtonMaxIters; ++iter) {
+    const Residual r = eval_residual(thetas, gamma, arrival_rate, lambda);
+    ++solve.iterations;
+    if (r.g == 0.0) break;
+    const double next = lambda - r.g / r.gp;
+    // Fixed point: the step rounded away (or a warm start overshot by a few
+    // ulps, making the "correction" non-positive) — lambda is converged.
+    if (!(next > lambda)) break;
+    lambda = next;
+  }
+  solve.lambda = lambda;
+
+  // Fill pass: rates and the optimum's total latency in the same 4-lane
+  // sweep, cost accumulated in the latency function's own operation order
+  // x * (theta * x * (1 + gamma * x)).
+  const double k3gl = 3.0 * gamma * lambda;
+  const double inv3g = 1.0 / (3.0 * gamma);
+  const simd::DVec one = simd::set1(1.0);
+  simd::DVec vl = simd::zero();
+  std::size_t i = 0;
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    const simd::DVec t = simd::load(&thetas[i]);
+    const simd::DVec s =
+        simd::sqrt(simd::add(one, simd::div(simd::set1(k3gl), t)));
+    const simd::DVec x = simd::mul(simd::sub(s, one), simd::set1(inv3g));
+    simd::store(&rates_out[i], x);
+    const simd::DVec lat = simd::mul(
+        t, simd::mul(x, simd::add(one, simd::mul(simd::set1(gamma), x))));
+    vl = simd::add(vl, simd::mul(x, lat));
+  }
+  solve.optimal_latency = simd::hsum(vl);
+  for (; i < n; ++i) {
+    const double s = std::sqrt(1.0 + k3gl / thetas[i]);
+    const double x = (s - 1.0) * inv3g;
+    rates_out[i] = x;
+    solve.optimal_latency += x * (thetas[i] * x * (1.0 + gamma * x));
+  }
+  return solve;
+}
+
+namespace {
+
+double family_gamma(const model::LatencyFamily& family) {
+  const auto* workload = dynamic_cast<const model::WorkloadFamily*>(&family);
+  LBMV_REQUIRE(workload != nullptr,
+               "WorkloadAllocator requires the workload latency family");
+  return workload->gamma();
+}
+
+}  // namespace
+
+model::Allocation WorkloadAllocator::allocate(
+    const model::LatencyFamily& family, std::span<const double> types,
+    double arrival_rate) const {
+  std::vector<double> rates(types.size(), 0.0);
+  workload_solve_into(types, family_gamma(family), arrival_rate, rates);
+  return model::Allocation(std::move(rates));
+}
+
+void WorkloadAllocator::allocate_into(const model::LatencyFamily& family,
+                                      std::span<const double> types,
+                                      double arrival_rate,
+                                      std::vector<double>& rates) const {
+  rates.resize(types.size());
+  workload_solve_into(types, family_gamma(family), arrival_rate, rates);
+}
+
+double WorkloadAllocator::optimal_latency(const model::LatencyFamily& family,
+                                          std::span<const double> types,
+                                          double arrival_rate) const {
+  std::vector<double> scratch(types.size(), 0.0);
+  return workload_solve_into(types, family_gamma(family), arrival_rate,
+                             scratch)
+      .optimal_latency;
+}
+
+void WorkloadAllocator::leave_one_out_into(const model::LatencyFamily& family,
+                                           std::span<const double> types,
+                                           double arrival_rate,
+                                           std::vector<double>& out) const {
+  const std::size_t n = types.size();
+  LBMV_REQUIRE(n >= 2, "leave-one-out requires at least two computers");
+  const double gamma = family_gamma(family);
+  std::vector<double> rates(n, 0.0);
+  const WorkloadSolve full =
+      workload_solve_into(types, gamma, arrival_rate, rates);
+  // Single reused scratch, BidProfile::without element order: starts as the
+  // profile with agent 0 removed; writing scratch[i] = types[i] afterwards
+  // turns it into the profile with agent i+1 removed.
+  std::vector<double> scratch(types.begin() + 1, types.end());
+  std::vector<double> rest_rates(n - 1, 0.0);
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // The full-set multiplier satisfies g_rest(lambda*) = -x_i(lambda*) <= 0,
+    // so it is a valid monotone warm start for every subsystem.
+    out[i] = workload_solve_into(scratch, gamma, arrival_rate, rest_rates,
+                                 full.lambda)
+                 .optimal_latency;
+    if (i + 1 < n) scratch[i] = types[i];
+  }
+}
+
+}  // namespace lbmv::alloc

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <thread>
 
+#include "lbmv/alloc/mm1_allocator.h"
 #include "lbmv/analysis/paper_experiments.h"
 #include "lbmv/analysis/report.h"
 #include "lbmv/core/archer_tardos.h"
@@ -821,6 +822,31 @@ int cmd_obs(const std::vector<std::string>& rest, std::ostream& out) {
             /*linear_pr=*/true,
             /*participation_guaranteed=*/
             mechanism.guarantees_voluntary_participation()});
+    // Second seeded defect: an over-saturated M/M/1 round (DESIGN.md §14).
+    // The same types re-read as mean service times give service rates
+    // mu_i = 1/theta_i; pushing computer 0's load to the brink of mu_0
+    // ships more than arrives (feasibility) and blows up its marginal
+    // mu_0/(mu_0 - x_0)^2 against the others (M/M/1 KKT stationarity).
+    {
+      const core::CompBonusMechanism mm1_mechanism(
+          std::make_shared<const alloc::MM1Allocator>());
+      const model::MM1Family mm1_family;
+      core::MechanismOutcome bad_mm1 =
+          mm1_mechanism.run(mm1_family, config.arrival_rate(), profile);
+      std::vector<double> mm1_rates = std::move(bad_mm1.allocation).release();
+      if (!mm1_rates.empty()) {
+        const double mu0 = 1.0 / profile.bids[0];
+        mm1_rates[0] = mu0 * (1.0 - 1e-12);
+      }
+      bad_mm1.allocation = model::Allocation(std::move(mm1_rates));
+      seeded_violations += core::check_round_invariants(
+          profile.bids, profile.executions, config.arrival_rate(), bad_mm1,
+          core::RoundInvariantOptions{
+              /*linear_pr=*/false,
+              /*participation_guaranteed=*/
+              mm1_mechanism.guarantees_voluntary_participation(),
+              /*mm1_exact=*/true});
+    }
     sampler.sample();
   }
   obs::set_enabled(false);
@@ -854,6 +880,8 @@ int cmd_obs(const std::vector<std::string>& rest, std::ostream& out) {
   std::uint64_t allocs_avoided = 0;
   std::uint64_t simd_rounds = 0;
   std::uint64_t sharded_rounds = 0;
+  std::uint64_t nonlinear_rounds = 0;
+  std::uint64_t newton_iters = 0;
   for (const auto& [name, value] : snap.counters) {
     if (name.rfind("lbmv_server_completions_total{", 0) == 0) {
       counted += value;
@@ -863,6 +891,8 @@ int cmd_obs(const std::vector<std::string>& rest, std::ostream& out) {
     if (name == "lbmv_mech_allocs_avoided_total") allocs_avoided = value;
     if (name == "lbmv_mech_simd_rounds_total") simd_rounds = value;
     if (name == "lbmv_mech_sharded_rounds_total") sharded_rounds = value;
+    if (name == "lbmv_mech_nonlinear_rounds_total") nonlinear_rounds = value;
+    if (name == "lbmv_mech_newton_iters_total") newton_iters = value;
   }
   std::size_t measured = 0;
   for (const auto& round : merged.rounds) {
@@ -878,7 +908,9 @@ int cmd_obs(const std::vector<std::string>& rest, std::ostream& out) {
       << " heap allocations avoided\n"
       << "vector engine: backend " << core::vector_backend_name() << ", "
       << simd_rounds << " vectorized rounds (" << sharded_rounds
-      << " sharded)\n"
+      << " sharded), " << nonlinear_rounds
+      << " fused nonlinear-family rounds (" << newton_iters
+      << " Newton iterations)\n"
       << "trace: " << spans << " spans retained, "
       << obs::TraceRecorder::global().dropped() << " dropped";
   if (!trace_path.empty()) out << " -> " << trace_path;

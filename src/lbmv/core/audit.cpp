@@ -53,6 +53,7 @@ AuditReport TruthfulnessAuditor::audit_agent(const model::SystemConfig& config,
           : nullptr;
   const auto* linear =
       dynamic_cast<const LinearPrProfileContext*>(context.get());
+  const auto* mm1 = dynamic_cast<const Mm1PrProfileContext*>(context.get());
   auto evaluate = [&](double bid_mult, double exec_mult) {
     const double bid = truth * bid_mult;
     const double execution = truth * exec_mult;
@@ -79,21 +80,27 @@ AuditReport TruthfulnessAuditor::audit_agent(const model::SystemConfig& config,
   obs::MechProbes::get().audit_evaluations.inc(
       static_cast<std::uint64_t>(nb * ne) + 1);
   std::vector<Deviation> grid(nb * ne);
-  if (linear != nullptr) {
+  if (linear != nullptr || mm1 != nullptr) {
     // Lane-parallel path: one candidate-bid sweep per execution multiplier
     // (bids vary along the row, four lanes per instruction), scattered back
     // into the k = bm_idx * ne + em_idx layout so the best-scan below
     // visits grid points in the legacy order — same utilities bit for bit,
-    // same tie-breaking.
+    // same tie-breaking.  The M/M/1 rows ride the §14 kernels; lanes off
+    // the all-active fast path defer to the context's own scalar oracle.
     std::vector<double> bid_row(nb);
     for (std::size_t j = 0; j < nb; ++j) {
       bid_row[j] = truth * options.bid_multipliers[j];
     }
     std::vector<double> utilities(nb * ne);
     auto row = [&](std::size_t e) {
-      linear_pr_grid_utilities(
-          *linear, agent, bid_row, truth * options.exec_multipliers[e],
-          std::span<double>(utilities).subspan(e * nb, nb));
+      const std::span<double> slot =
+          std::span<double>(utilities).subspan(e * nb, nb);
+      const double execution = truth * options.exec_multipliers[e];
+      if (linear != nullptr) {
+        linear_pr_grid_utilities(*linear, agent, bid_row, execution, slot);
+      } else {
+        mm1_grid_utilities(*mm1, agent, bid_row, execution, slot);
+      }
     };
     if (options.parallel && ne > 1) {
       util::ThreadPool::global().parallel_for(0, ne, row, /*grain=*/1);

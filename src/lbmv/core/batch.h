@@ -37,6 +37,21 @@ class ThreadPool;
 
 namespace lbmv::core {
 
+/// The latency families the round engine knows fused kernels for.  The
+/// generic virtual-dispatch arena stays the semantic reference; a fused
+/// path may only engage when the family AND the allocator match (e.g. kMm1
+/// with an exact MM1Allocator), so classification alone never changes
+/// behaviour.
+enum class FamilyKind {
+  kLinear,    ///< l(x) = theta x        — PR closed form (DESIGN.md §11/§12)
+  kMm1,       ///< l(x) = 1/(mu - x)     — square-root closed form (§14)
+  kWorkload,  ///< l(x) = theta x(1+gx)  — damped-free monotone Newton (§14)
+  kGeneric,   ///< anything else: virtual-dispatch arena
+};
+
+/// Classify by dynamic type (mirroring the audit fast-path gates).
+[[nodiscard]] FamilyKind classify_family(const model::LatencyFamily& family);
+
 /// B bid/execution profiles over a fixed set of n agents, stored
 /// structure-of-arrays: profile b's bids occupy the contiguous slice
 /// [b*n, (b+1)*n) of one plane, its executions the same slice of another.
@@ -140,6 +155,11 @@ class RoundWorkspace {
   std::vector<double> inv_bids;        ///< 1/b_i
   std::vector<double> block_partials;  ///< per-block partials: S, sum (e/b^2)
   std::vector<unsigned char> block_ok; ///< per-block validation masks
+
+  // ---- nonlinear-family planes (family_round.cpp; reused across rounds) --
+  std::vector<double> sqrt_mu;         ///< a_i = sqrt(1/b_i) (M/M/1)
+  std::vector<double> inv_execs;       ///< 1/e_i (M/M/1 verified rates)
+  std::vector<double> family_scratch;  ///< rest-set / Newton scratch
 
   /// Arena for generic (non-linear) families: the function objects are
   /// rebuilt per round via LatencyFamily::make, but the owning planes

@@ -1,6 +1,7 @@
 #include "lbmv/core/comp_bonus.h"
 
 #include "lbmv/core/batch.h"
+#include "lbmv/core/family_context.h"
 #include "lbmv/core/profile_context.h"
 #include "lbmv/util/error.h"
 
@@ -57,11 +58,15 @@ void CompBonusMechanism::fill_payments(
 std::unique_ptr<ProfileUtilityContext> CompBonusMechanism::make_profile_context(
     const model::LatencyFamily& family, double arrival_rate,
     const model::BidProfile& base) const {
-  return make_linear_pr_profile_context(
-      basis_ == CompensationBasis::kExecution
-          ? LinearPrRule::kCompBonusExecution
-          : LinearPrRule::kCompBonusBid,
-      family, allocator(), arrival_rate, base);
+  const LinearPrRule rule = basis_ == CompensationBasis::kExecution
+                                ? LinearPrRule::kCompBonusExecution
+                                : LinearPrRule::kCompBonusBid;
+  if (auto ctx = make_linear_pr_profile_context(rule, family, allocator(),
+                                                arrival_rate, base)) {
+    return ctx;
+  }
+  return make_family_profile_context(rule, family, allocator(), arrival_rate,
+                                     base);
 }
 
 }  // namespace lbmv::core

@@ -1,0 +1,149 @@
+#pragma once
+
+/// \file family_context.h
+/// Closed-form ProfileUtilityContext for the nonlinear latency families
+/// with exact allocators: M/M/1 (alloc/mm1_allocator.h) and the
+/// workload-dependent-rate family (alloc/workload_allocator.h).
+///
+/// These extend the audit/strategy fast path of profile_context.h beyond
+/// the linear family (DESIGN.md §14).  The M/M/1 context is O(1) per
+/// deviation on the common configuration — all computers active before and
+/// after the deviation, rest profile consistent (e_j = b_j for j != i) —
+/// because with a = sqrt(mu) the deviation only moves one term of the two
+/// sums sum mu_j and sum a_j, and every active queue length is a_j/c - 1.
+/// Anything else (active-set churn, inconsistent opponents, saturation)
+/// falls back to a full scalar re-solve inside utility(), preserving the
+/// allocator's typed PreconditionErrors.  The workload family has no
+/// closed-form allocation at all, so its context re-runs the damped-Newton
+/// KKT solve per query against a per-call scratch (queries stay safe to
+/// issue concurrently); the leave-one-out optima — deviation-independent —
+/// are precomputed once per commit with warm-started solves.
+///
+/// Mm1PrProfileContext is exported (not hidden behind the factory) so the
+/// lane-parallel deviation-grid kernels (grid_kernels.h) can read the
+/// cached rest-of-profile sums via sweep_state() and evaluate four
+/// candidate bids per instruction in utility()'s exact IEEE operand order;
+/// utility() itself stays the scalar oracle the differential suite holds
+/// them to.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "lbmv/alloc/allocator.h"
+#include "lbmv/core/mechanism.h"
+#include "lbmv/core/profile_context.h"
+#include "lbmv/model/bids.h"
+#include "lbmv/model/latency.h"
+
+namespace lbmv::core {
+
+/// Closed-form M/M/1 deviation context (file comment above).  Types are
+/// mean service times theta = 1/mu, matching MM1Family / MM1Allocator.
+class Mm1PrProfileContext final : public ProfileUtilityContext {
+ public:
+  Mm1PrProfileContext(LinearPrRule rule, double arrival_rate,
+                      model::BidProfile base);
+
+  [[nodiscard]] double utility(std::size_t agent, double bid,
+                               double execution) const override;
+  void commit(std::size_t agent, double bid, double execution) override;
+  void outcome_into(MechanismOutcome& out) const override;
+  [[nodiscard]] double actual_latency() const override { return actual_; }
+  [[nodiscard]] const model::BidProfile& profile() const override {
+    return profile_;
+  }
+
+  [[nodiscard]] LinearPrRule rule() const { return rule_; }
+  [[nodiscard]] double arrival_rate() const { return arrival_rate_; }
+  [[nodiscard]] std::size_t size() const { return profile_.size(); }
+
+  /// Everything a candidate-bid sweep against one agent needs, O(1) from
+  /// the caches.  The grid kernels splat these into lanes; utility()'s
+  /// fast path reads the identical values, so lane results match the
+  /// scalar oracle bit for bit.
+  struct SweepState {
+    double rest_mu = 0.0;     ///< sum_{j != agent} mu_j
+    double rest_a = 0.0;      ///< sum_{j != agent} sqrt(mu_j)
+    double rest_min_a = 0.0;  ///< min_{j != agent} sqrt(mu_j)
+    double loo = 0.0;         ///< L_{-agent} (0 under kNoPayment)
+    /// Every opponent executes exactly as bid — required for the O(1)
+    /// actual-latency form sum_{j != i} (a_j/c' - 1).
+    bool rest_consistent = false;
+  };
+  [[nodiscard]] SweepState sweep_state(std::size_t agent) const;
+
+ private:
+  /// Full scalar re-solve for deviations off the all-active consistent
+  /// fast path.  Allocates locally (concurrent queries stay safe).
+  [[nodiscard]] double slow_utility(std::size_t agent, double bid,
+                                    double execution) const;
+  void rebuild();
+
+  LinearPrRule rule_;
+  double arrival_rate_;
+  model::BidProfile profile_;
+  std::vector<double> mus_;   ///< mu_j = 1/b_j
+  std::vector<double> a_;     ///< sqrt(mu_j)
+  std::vector<double> mue_;   ///< 1/e_j (verified service rates)
+  std::vector<double> rates_; ///< committed allocation
+  std::vector<double> loo_;   ///< L_{-j} (empty under kNoPayment)
+  std::vector<char> inconsistent_;  ///< e_j != b_j
+  double sum_mu_ = 0.0;
+  double sum_a_ = 0.0;
+  double min_a_ = 0.0;
+  double second_a_ = 0.0;
+  std::size_t argmin_a_ = 0;
+  std::size_t inconsistent_count_ = 0;
+  double actual_ = 0.0;
+  double reported_ = 0.0;
+};
+
+/// Workload-family deviation context: latency theta * x * (1 + gamma x),
+/// allocation from the strictly-interior KKT system solved by damped
+/// Newton (alloc/workload_allocator.h).  O(n * newton_iters) per query.
+class WorkloadProfileContext final : public ProfileUtilityContext {
+ public:
+  WorkloadProfileContext(LinearPrRule rule, double gamma, double arrival_rate,
+                         model::BidProfile base);
+
+  [[nodiscard]] double utility(std::size_t agent, double bid,
+                               double execution) const override;
+  void commit(std::size_t agent, double bid, double execution) override;
+  void outcome_into(MechanismOutcome& out) const override;
+  [[nodiscard]] double actual_latency() const override { return actual_; }
+  [[nodiscard]] const model::BidProfile& profile() const override {
+    return profile_;
+  }
+
+  [[nodiscard]] LinearPrRule rule() const { return rule_; }
+  [[nodiscard]] double gamma() const { return gamma_; }
+  [[nodiscard]] double arrival_rate() const { return arrival_rate_; }
+
+ private:
+  void rebuild();
+
+  LinearPrRule rule_;
+  double gamma_;
+  double arrival_rate_;
+  model::BidProfile profile_;
+  double lambda_ = 0.0;        ///< committed KKT multiplier
+  std::vector<double> rates_;  ///< committed allocation
+  std::vector<double> loo_;    ///< L_{-j} (empty under kNoPayment)
+  double actual_ = 0.0;
+  double reported_ = 0.0;
+};
+
+/// Build the family-specific closed-form context, or nullptr unless
+/// (family, allocator) is one of the exact nonlinear pairs — MM1Family
+/// with MM1Allocator, or WorkloadFamily with WorkloadAllocator — and the
+/// rule has a family-generic form (kArcherTardos is linear-only).  \p base
+/// is copied.  Mechanisms chain this after make_linear_pr_profile_context.
+[[nodiscard]] std::unique_ptr<ProfileUtilityContext>
+make_family_profile_context(LinearPrRule rule,
+                            const model::LatencyFamily& family,
+                            const alloc::Allocator& allocator,
+                            double arrival_rate,
+                            const model::BidProfile& base);
+
+}  // namespace lbmv::core

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "lbmv/alloc/mm1_allocator.h"
 #include "lbmv/util/error.h"
 #include "lbmv/util/simd.h"
 
@@ -189,6 +190,172 @@ void sweep(const LinearPrProfileContext& ctx, std::size_t agent,
   }
 }
 
+// ---------------------------------------------------------------------------
+// M/M/1 sweep (DESIGN.md §14)
+
+/// Lane-constant state for one (agent, execution) M/M/1 sweep, read off the
+/// context through the same sweep_state() accessor utility() itself calls,
+/// so every splatted scalar is bit-identical to the oracle's.
+struct Mm1Sweep {
+  LinearPrRule rule;
+  double r;
+  double rest_mu;
+  double rest_a;
+  double rest_min_a;
+  double loo;
+  double mu_e;  ///< 1.0 / execution, the oracle's exact expression
+  double nm1;   ///< static_cast<double>(n - 1)
+  double nn;    ///< static_cast<double>(n)
+  bool rest_consistent;
+};
+
+Mm1Sweep make_mm1_state(const Mm1PrProfileContext& ctx, std::size_t agent,
+                        double execution) {
+  const Mm1PrProfileContext::SweepState st = ctx.sweep_state(agent);
+  Mm1Sweep sw;
+  sw.rule = ctx.rule();
+  sw.r = ctx.arrival_rate();
+  sw.rest_mu = st.rest_mu;
+  sw.rest_a = st.rest_a;
+  sw.rest_min_a = st.rest_min_a;
+  sw.loo = st.loo;
+  sw.mu_e = 1.0 / execution;
+  sw.nm1 = static_cast<double>(ctx.size() - 1);
+  sw.nn = static_cast<double>(ctx.size());
+  sw.rest_consistent = st.rest_consistent;
+  return sw;
+}
+
+/// Four candidate utilities on the all-active consistent fast path, plus an
+/// AND-accumulated mask of the lanes the fast path actually covers.  The
+/// association of every expression matches Mm1PrProfileContext::utility's
+/// fast branch line for line (no FMA, fixed operand order).
+simd::DVec mm1_utilities4(const Mm1Sweep& sw, simd::DVec b,
+                          simd::DVec* fast_ok) {
+  const simd::DVec one = simd::set1(1.0);
+  const simd::DVec inf = simd::set1(std::numeric_limits<double>::infinity());
+  const simd::DVec mu = simd::div(one, b);                       // 1/b
+  const simd::DVec a = simd::sqrt(mu);                           // sqrt(mu)
+  const simd::DVec sum_mu = simd::add(simd::set1(sw.rest_mu), mu);
+  const simd::DVec sum_a = simd::add(simd::set1(sw.rest_a), a);
+  const simd::DVec slack = simd::sub(sum_mu, simd::set1(sw.r));
+  // isfinite(sum_mu) && slack > kMm1MinRelativeSlack * sum_mu
+  simd::DVec ok = simd::mask_and(
+      simd::mask_greater(inf, sum_mu),
+      simd::mask_greater(slack, simd::mul(simd::set1(alloc::kMm1MinRelativeSlack),
+                                          sum_mu)));
+  const simd::DVec c = simd::div(slack, sum_a);
+  ok = simd::mask_and(ok, simd::mask_greater(a, c));
+  ok = simd::mask_and(ok, simd::mask_greater(simd::set1(sw.rest_min_a), c));
+  const simd::DVec x = simd::sub(mu, simd::mul(c, a));
+  ok = simd::mask_and(ok, simd::mask_greater(x, simd::zero()));
+  const simd::DVec de = simd::sub(simd::set1(sw.mu_e), x);
+  ok = simd::mask_and(ok, simd::mask_greater(de, simd::zero()));
+  *fast_ok = ok;
+  const simd::DVec cost_e = simd::div(x, de);
+  // actual = (rest_a / c - nm1) + cost_e
+  const simd::DVec actual =
+      simd::add(simd::sub(simd::div(simd::set1(sw.rest_a), c),
+                          simd::set1(sw.nm1)),
+                cost_e);
+  switch (sw.rule) {
+    case LinearPrRule::kCompBonusExecution:
+      return simd::sub(simd::set1(sw.loo), actual);
+    case LinearPrRule::kCompBonusBid: {
+      const simd::DVec comp = simd::sub(simd::div(a, c), one);
+      return simd::sub(
+          simd::add(comp, simd::sub(simd::set1(sw.loo), actual)), cost_e);
+    }
+    case LinearPrRule::kVcg: {
+      const simd::DVec comp = simd::sub(simd::div(a, c), one);
+      const simd::DVec reported =
+          simd::sub(simd::div(sum_a, c), simd::set1(sw.nn));
+      return simd::sub(
+          simd::sub(simd::set1(sw.loo), simd::sub(reported, comp)), cost_e);
+    }
+    case LinearPrRule::kNoPayment:
+      return simd::sub(simd::zero(), cost_e);
+    case LinearPrRule::kArcherTardos:
+      break;  // the context rejects the rule at construction
+  }
+  LBMV_ASSERT(false, "unreachable payment rule");
+  return simd::zero();
+}
+
+/// Fused M/M/1 sweep driver.  Blocks fully on the fast path use the lane
+/// kernel; a block with any off-path lane is re-evaluated through the
+/// scalar oracle (all four lanes, so the downstream max/argmax arithmetic
+/// is identical either way).
+void mm1_sweep(const Mm1PrProfileContext& ctx, std::size_t agent,
+               std::span<const double> bids, double execution, double* out,
+               GridBest* best) {
+  LBMV_REQUIRE(agent < ctx.profile().size(), "agent index out of range");
+  LBMV_REQUIRE(execution > 0.0, "execution values must be positive");
+  const std::size_t size = bids.size();
+  if (size == 0) return;
+
+  const Mm1Sweep sw = make_mm1_state(ctx, agent, execution);
+  const double lane_offsets[simd::kLanes] = {0.0, 1.0, 2.0, 3.0};
+  const simd::DVec base_idx = simd::load(lane_offsets);
+  simd::DVec best_v = simd::set1(-std::numeric_limits<double>::infinity());
+  simd::DVec best_i = simd::zero();
+
+  double padded[simd::kLanes];
+  double tmp[simd::kLanes];
+  for (std::size_t k = 0; k < size; k += simd::kLanes) {
+    const bool partial = k + simd::kLanes > size;
+    const double* block = bids.data() + k;
+    if (partial) {
+      // Padded tail: spare lanes duplicate the last candidate; their indices
+      // exceed the genuine copy's, so the tie-break can never pick one.
+      for (std::size_t l = 0; l < simd::kLanes; ++l) {
+        padded[l] = k + l < size ? bids[k + l] : bids[size - 1];
+      }
+      block = padded;
+    }
+    const simd::DVec b = simd::load(block);
+    simd::DVec fast_ok = simd::zero();
+    simd::DVec u = sw.rest_consistent ? mm1_utilities4(sw, b, &fast_ok)
+                                      : simd::zero();
+    if (!sw.rest_consistent || !simd::mask_all_true(fast_ok)) {
+      // Off the fast path somewhere in this block: the scalar oracle owns
+      // every lane (slow re-solves and the canonical typed errors alike).
+      for (std::size_t l = 0; l < simd::kLanes; ++l) {
+        tmp[l] = ctx.utility(agent, block[l], execution);
+      }
+      u = simd::load(tmp);
+    }
+    if (out != nullptr) {
+      simd::store(tmp, u);
+      for (std::size_t l = 0; l < simd::kLanes && k + l < size; ++l) {
+        out[k + l] = tmp[l];
+      }
+    }
+    if (best != nullptr) {
+      const simd::DVec idx =
+          simd::add(base_idx, simd::set1(static_cast<double>(k)));
+      const simd::DVec m = simd::mask_greater(u, best_v);
+      best_v = simd::select(m, u, best_v);
+      best_i = simd::select(m, idx, best_i);
+    }
+  }
+
+  if (best != nullptr) {
+    double bv = simd::lane(best_v, 0);
+    double bi = simd::lane(best_i, 0);
+    for (std::size_t l = 1; l < simd::kLanes; ++l) {
+      const double v = simd::lane(best_v, l);
+      const double i = simd::lane(best_i, l);
+      if (v > bv || (v == bv && i < bi)) {
+        bv = v;
+        bi = i;
+      }
+    }
+    best->index = static_cast<std::size_t>(bi);
+    best->utility = bv;
+  }
+}
+
 }  // namespace
 
 std::size_t grid_lanes_padded(std::size_t grid_size) {
@@ -209,6 +376,22 @@ GridBest linear_pr_grid_best(const LinearPrProfileContext& ctx,
   LBMV_REQUIRE(!bids.empty(), "deviation grid must be non-empty");
   GridBest best;
   sweep(ctx, agent, bids, execution, nullptr, &best);
+  return best;
+}
+
+void mm1_grid_utilities(const Mm1PrProfileContext& ctx, std::size_t agent,
+                        std::span<const double> bids, double execution,
+                        std::span<double> out) {
+  LBMV_REQUIRE(out.size() >= bids.size(),
+               "output span must cover the candidate grid");
+  mm1_sweep(ctx, agent, bids, execution, out.data(), nullptr);
+}
+
+GridBest mm1_grid_best(const Mm1PrProfileContext& ctx, std::size_t agent,
+                       std::span<const double> bids, double execution) {
+  LBMV_REQUIRE(!bids.empty(), "deviation grid must be non-empty");
+  GridBest best;
+  mm1_sweep(ctx, agent, bids, execution, nullptr, &best);
   return best;
 }
 

@@ -29,6 +29,7 @@
 #include <cstddef>
 #include <span>
 
+#include "lbmv/core/family_context.h"
 #include "lbmv/core/profile_context.h"
 
 namespace lbmv::core {
@@ -62,5 +63,23 @@ void linear_pr_grid_utilities(const LinearPrProfileContext& ctx,
                                            std::size_t agent,
                                            std::span<const double> bids,
                                            double execution);
+
+/// M/M/1 sweep (DESIGN.md §14): same contract as linear_pr_grid_utilities
+/// against an Mm1PrProfileContext.  Lanes replicate the context's all-active
+/// consistent fast path in its exact IEEE operand order; any lane whose
+/// fast-path gates fail (active-set churn, saturation, inconsistent rest,
+/// domain violation, bad candidate) is re-evaluated through the scalar
+/// oracle ctx.utility itself, so the plane is bit-identical to a scalar
+/// loop of utility() calls — including which deviations throw.
+void mm1_grid_utilities(const Mm1PrProfileContext& ctx, std::size_t agent,
+                        std::span<const double> bids, double execution,
+                        std::span<double> out);
+
+/// Max/argmax form of the M/M/1 sweep (same tie-break contract as
+/// linear_pr_grid_best).  Requires a non-empty grid.
+[[nodiscard]] GridBest mm1_grid_best(const Mm1PrProfileContext& ctx,
+                                     std::size_t agent,
+                                     std::span<const double> bids,
+                                     double execution);
 
 }  // namespace lbmv::core

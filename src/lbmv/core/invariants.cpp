@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "lbmv/obs/monitor.h"
 
@@ -55,8 +56,11 @@ std::size_t check_round_invariants(std::span<const double> bids,
   }
 
   // Voluntary participation at consistent rounds (file comment: only
-  // sound where the allocation is exactly the optimum, i.e. PR-on-linear).
-  if (options.participation_guaranteed && options.linear_pr) {
+  // sound where the allocation is exactly the optimum — PR-on-linear, or
+  // a nonlinear family under its exact allocator).
+  const bool exact_optimum =
+      options.linear_pr || options.mm1_exact || options.workload_exact;
+  if (options.participation_guaranteed && exact_optimum) {
     bool consistent = bids.size() == n && executions.size() == n;
     for (std::size_t i = 0; consistent && i < n; ++i) {
       consistent = bids[i] == executions[i];
@@ -81,21 +85,42 @@ std::size_t check_round_invariants(std::span<const double> bids,
     }
   }
 
-  // KKT stationarity on linear rounds: b_j x_j constant at the optimum.
-  if (options.linear_pr && bids.size() == n && n > 0) {
-    double lo = bids[0] * x[0];
-    double hi = lo;
-    for (std::size_t j = 1; j < n; ++j) {
-      const double marginal = bids[j] * x[j];
+  // KKT stationarity: the per-family marginal cost c_j'(x_j) is constant
+  // across agents receiving load at the optimum.  Linear: d/dx [b x^2]
+  // (tracked as b_j x_j, half the marginal — the spread is scale-free);
+  // M/M/1: mu_j / (mu_j - x_j)^2 over active agents only (dropped
+  // computers sit at a corner, not the equalised interior condition);
+  // workload: 2 b_j x_j + 3 b_j gamma x_j^2, always interior.
+  if ((options.linear_pr || options.mm1_exact || options.workload_exact) &&
+      bids.size() == n && n > 0) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    std::size_t counted = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      double marginal;
+      if (options.mm1_exact) {
+        if (x[j] == 0.0) continue;
+        const double mu = 1.0 / bids[j];
+        const double headroom = mu - x[j];
+        marginal = mu / (headroom * headroom);
+      } else if (options.workload_exact) {
+        marginal = 2.0 * bids[j] * x[j] +
+                   3.0 * bids[j] * options.workload_gamma * x[j] * x[j];
+      } else {
+        marginal = bids[j] * x[j];
+      }
       lo = std::min(lo, marginal);
       hi = std::max(hi, marginal);
+      ++counted;
     }
-    const double spread = (hi - lo) / std::max(std::fabs(hi), 1e-300);
-    if (!monitors.kkt_stationarity.check(
-            spread, {{"n", static_cast<double>(n)},
-                     {"marginal_min", lo},
-                     {"marginal_max", hi}})) {
-      ++violations;
+    if (counted > 0) {
+      const double spread = (hi - lo) / std::max(std::fabs(hi), 1e-300);
+      if (!monitors.kkt_stationarity.check(
+              spread, {{"n", static_cast<double>(n)},
+                       {"marginal_min", lo},
+                       {"marginal_max", hi}})) {
+        ++violations;
+      }
     }
   }
 

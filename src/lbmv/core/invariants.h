@@ -43,6 +43,18 @@ struct RoundInvariantOptions {
   /// Whether the mechanism guarantees nonnegative utility at consistent
   /// rounds (Mechanism::guarantees_voluntary_participation()).
   bool participation_guaranteed = true;
+  /// The round is an M/M/1 round under the exact MM1Allocator: arms the
+  /// participation monitor (exact optimum) and the M/M/1 KKT residual —
+  /// at the optimum the active marginals mu_j / (mu_j - x_j)^2 with
+  /// mu_j = 1/b_j are equalised; dropped computers (x_j = 0) are skipped.
+  bool mm1_exact = false;
+  /// The round is a workload-family round under the exact
+  /// WorkloadAllocator: arms participation and the workload KKT residual —
+  /// the marginals 2 b_j x_j + 3 b_j gamma x_j^2 are equalised at the
+  /// (always interior) optimum.
+  bool workload_exact = false;
+  /// Family-level congestion coefficient when workload_exact.
+  double workload_gamma = 0.0;
 };
 
 /// Feed one completed round through the invariant monitors.  Returns the

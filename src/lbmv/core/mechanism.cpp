@@ -3,8 +3,11 @@
 #include <cmath>
 #include <cstdint>
 
+#include "lbmv/alloc/mm1_allocator.h"
 #include "lbmv/alloc/pr_allocator.h"
+#include "lbmv/alloc/workload_allocator.h"
 #include "lbmv/core/batch.h"
+#include "lbmv/core/family_round.h"
 #include "lbmv/core/invariants.h"
 #include "lbmv/core/simd_round.h"
 #include "lbmv/obs/probes.h"
@@ -93,6 +96,67 @@ void Mechanism::run_into(const model::LatencyFamily& family,
     return;
   }
 
+  // Nonlinear fused dispatch (family_round.h, DESIGN.md §14): the M/M/1 and
+  // workload families get their own fused engines when paired with their
+  // exact allocators.  The Archer–Tardos tail integral is linear-family-
+  // specific, so that rule stays on the generic path.  The M/M/1 engine
+  // declines rounds that need the active-set machinery (some computer
+  // dropped, or a closed-form precondition fails) by returning false; the
+  // generic path below then owns the round and its canonical diagnostics.
+  if (!ws.linear_fast && rule != VectorRule::kNone &&
+      rule != VectorRule::kArcherTardos &&
+      kernel_backend() == KernelBackend::kVectorized) {
+    const FamilyKind kind = classify_family(family);
+    if (kind == FamilyKind::kMm1 &&
+        dynamic_cast<const alloc::MM1Allocator*>(allocator_.get()) !=
+            nullptr) {
+      if (run_mm1_vectorized(rule, arrival_rate, bids, executions, out, ws)) {
+        if (obs::enabled()) {
+          obs::MechProbes& probes = obs::MechProbes::get();
+          probes.rounds.inc();
+          probes.nonlinear_rounds.inc();
+          // The generic path would have built 2n latency functions for the
+          // totals plus n more in the payment rule's compensation terms.
+          probes.allocs_avoided.inc(3 * static_cast<std::uint64_t>(n));
+          for (const auto& agent : out.agents) {
+            probes.round_payment.record(agent.payment);
+            probes.round_bonus.record(agent.bonus);
+          }
+          RoundInvariantOptions opts;
+          opts.participation_guaranteed =
+              guarantees_voluntary_participation();
+          opts.mm1_exact = true;
+          check_round_invariants(bids, executions, arrival_rate, out, opts);
+        }
+        return;
+      }
+    } else if (kind == FamilyKind::kWorkload &&
+               dynamic_cast<const alloc::WorkloadAllocator*>(
+                   allocator_.get()) != nullptr) {
+      const auto& workload =
+          static_cast<const model::WorkloadFamily&>(family);
+      const FamilyRoundStats stats = run_workload_vectorized(
+          workload, rule, arrival_rate, bids, executions, out, ws);
+      if (obs::enabled()) {
+        obs::MechProbes& probes = obs::MechProbes::get();
+        probes.rounds.inc();
+        probes.nonlinear_rounds.inc();
+        probes.newton_iters.inc(stats.newton_iters);
+        probes.allocs_avoided.inc(3 * static_cast<std::uint64_t>(n));
+        for (const auto& agent : out.agents) {
+          probes.round_payment.record(agent.payment);
+          probes.round_bonus.record(agent.bonus);
+        }
+        RoundInvariantOptions opts;
+        opts.participation_guaranteed = guarantees_voluntary_participation();
+        opts.workload_exact = true;
+        opts.workload_gamma = workload.gamma();
+        check_round_invariants(bids, executions, arrival_rate, out, opts);
+      }
+      return;
+    }
+  }
+
   for (std::size_t i = 0; i < n; ++i) {
     LBMV_REQUIRE(bids[i] > 0.0, "bids must be positive");
     LBMV_REQUIRE(executions[i] > 0.0, "execution values must be positive");
@@ -140,15 +204,22 @@ void Mechanism::run_into(const model::LatencyFamily& family,
   } else {
     // Generic families: the function objects themselves must come from
     // family.make (unavoidable heap traffic), but the owning planes live in
-    // the workspace so the per-round vector churn is gone.
-    ws.exec_fns.resize(n);
-    ws.bid_fns.resize(n);
+    // the workspace so the per-round vector churn is gone.  The arena keeps
+    // its high-water size — shrinking to exactly n would destroy the tail's
+    // slots only to default-construct them again on the next larger round —
+    // and the round uses the first n entries.
+    if (ws.exec_fns.size() < n) {
+      ws.exec_fns.resize(n);
+      ws.bid_fns.resize(n);
+    }
     for (std::size_t i = 0; i < n; ++i) {
       ws.exec_fns[i] = family.make(executions[i]);
       ws.bid_fns[i] = family.make(bids[i]);
     }
-    out.actual_latency = model::total_latency(out.allocation, ws.exec_fns);
-    out.reported_latency = model::total_latency(out.allocation, ws.bid_fns);
+    out.actual_latency = model::total_latency(
+        out.allocation, std::span(ws.exec_fns).first(n));
+    out.reported_latency = model::total_latency(
+        out.allocation, std::span(ws.bid_fns).first(n));
     for (std::size_t i = 0; i < n; ++i) {
       auto& agent = out.agents[i];
       agent.allocation = x[i];
@@ -177,12 +248,27 @@ void Mechanism::run_into(const model::LatencyFamily& family,
       probes.round_payment.record(agent.payment);
       probes.round_bonus.record(agent.bonus);
     }
-    check_round_invariants(
-        bids, executions, arrival_rate, out,
-        RoundInvariantOptions{
-            /*linear_pr=*/ws.linear_fast && ws.pr_closed_form,
-            /*participation_guaranteed=*/
-            guarantees_voluntary_participation()});
+    RoundInvariantOptions opts;
+    opts.linear_pr = ws.linear_fast && ws.pr_closed_form;
+    opts.participation_guaranteed = guarantees_voluntary_participation();
+    // Scalar-backend (or fused-declined) rounds on the exact nonlinear
+    // allocators still arm the family-specific monitors: the allocation is
+    // exactly optimal there too, only the engine differs.
+    if (!ws.linear_fast && rule != VectorRule::kNone &&
+        rule != VectorRule::kArcherTardos) {
+      const FamilyKind kind = classify_family(family);
+      opts.mm1_exact = kind == FamilyKind::kMm1 &&
+                       dynamic_cast<const alloc::MM1Allocator*>(
+                           allocator_.get()) != nullptr;
+      if (kind == FamilyKind::kWorkload &&
+          dynamic_cast<const alloc::WorkloadAllocator*>(allocator_.get()) !=
+              nullptr) {
+        opts.workload_exact = true;
+        opts.workload_gamma =
+            static_cast<const model::WorkloadFamily&>(family).gamma();
+      }
+    }
+    check_round_invariants(bids, executions, arrival_rate, out, opts);
   }
 }
 

@@ -1,5 +1,6 @@
 #include "lbmv/core/no_payment.h"
 
+#include "lbmv/core/family_context.h"
 #include "lbmv/core/profile_context.h"
 
 namespace lbmv::core {
@@ -25,8 +26,12 @@ void NoPaymentMechanism::fill_payments(
 std::unique_ptr<ProfileUtilityContext> NoPaymentMechanism::make_profile_context(
     const model::LatencyFamily& family, double arrival_rate,
     const model::BidProfile& base) const {
-  return make_linear_pr_profile_context(LinearPrRule::kNoPayment, family,
-                                        allocator(), arrival_rate, base);
+  if (auto ctx = make_linear_pr_profile_context(
+          LinearPrRule::kNoPayment, family, allocator(), arrival_rate, base)) {
+    return ctx;
+  }
+  return make_family_profile_context(LinearPrRule::kNoPayment, family,
+                                     allocator(), arrival_rate, base);
 }
 
 }  // namespace lbmv::core

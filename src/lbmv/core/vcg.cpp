@@ -1,6 +1,7 @@
 #include "lbmv/core/vcg.h"
 
 #include "lbmv/core/batch.h"
+#include "lbmv/core/family_context.h"
 #include "lbmv/core/profile_context.h"
 
 namespace lbmv::core {
@@ -55,8 +56,13 @@ void VcgMechanism::fill_payments(const model::LatencyFamily& family,
 std::unique_ptr<ProfileUtilityContext> VcgMechanism::make_profile_context(
     const model::LatencyFamily& family, double arrival_rate,
     const model::BidProfile& base) const {
-  return make_linear_pr_profile_context(LinearPrRule::kVcg, family,
-                                        allocator(), arrival_rate, base);
+  if (auto ctx = make_linear_pr_profile_context(LinearPrRule::kVcg, family,
+                                                allocator(), arrival_rate,
+                                                base)) {
+    return ctx;
+  }
+  return make_family_profile_context(LinearPrRule::kVcg, family, allocator(),
+                                     arrival_rate, base);
 }
 
 }  // namespace lbmv::core

@@ -87,6 +87,33 @@ std::unique_ptr<LatencyFunction> MM1Latency::clone() const {
   return std::make_unique<MM1Latency>(*this);
 }
 
+WorkloadLatency::WorkloadLatency(double theta, double gamma)
+    : theta_(theta), gamma_(gamma) {
+  LBMV_REQUIRE(theta > 0.0, "workload latency coefficient must be positive");
+  LBMV_REQUIRE(gamma > 0.0,
+               "workload congestion coefficient gamma must be positive");
+}
+
+double WorkloadLatency::latency(double x) const {
+  LBMV_REQUIRE(x >= 0.0, "workload latency requires x >= 0");
+  return theta_ * x * (1.0 + gamma_ * x);
+}
+
+double WorkloadLatency::latency_derivative(double x) const {
+  LBMV_REQUIRE(x >= 0.0, "workload latency requires x >= 0");
+  return theta_ * (1.0 + 2.0 * gamma_ * x);
+}
+
+std::string WorkloadLatency::describe() const {
+  std::ostringstream os;
+  os << "workload(t=" << theta_ << ", gamma=" << gamma_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<LatencyFunction> WorkloadLatency::clone() const {
+  return std::make_unique<WorkloadLatency>(*this);
+}
+
 PowerLatency::PowerLatency(double t, double k) : t_(t), k_(k) {
   LBMV_REQUIRE(t > 0.0, "power latency coefficient must be positive");
   LBMV_REQUIRE(k >= 1.0, "power latency exponent must be >= 1 for convexity");
@@ -129,6 +156,26 @@ std::unique_ptr<LatencyFunction> MM1Family::make(double theta) const {
 
 std::unique_ptr<LatencyFamily> MM1Family::clone() const {
   return std::make_unique<MM1Family>(*this);
+}
+
+WorkloadFamily::WorkloadFamily(double gamma) : gamma_(gamma) {
+  LBMV_REQUIRE(gamma > 0.0,
+               "workload family congestion coefficient must be positive");
+}
+
+std::unique_ptr<LatencyFunction> WorkloadFamily::make(double theta) const {
+  LBMV_REQUIRE(theta > 0.0, "workload family type must be positive");
+  return std::make_unique<WorkloadLatency>(theta, gamma_);
+}
+
+std::string WorkloadFamily::name() const {
+  std::ostringstream os;
+  os << "workload(gamma=" << gamma_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<LatencyFamily> WorkloadFamily::clone() const {
+  return std::make_unique<WorkloadFamily>(*this);
 }
 
 PowerFamily::PowerFamily(double k) : k_(k) {

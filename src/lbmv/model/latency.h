@@ -126,6 +126,26 @@ class MM1Latency final : public LatencyFunction {
   double mu_;
 };
 
+/// Workload-dependent service rate (Zhang et al.): the effective per-job
+/// time grows with the load already routed to the machine,
+/// l(x) = theta * x * (1 + gamma * x) with theta > 0 and a family-level
+/// congestion coefficient gamma > 0.  At gamma -> 0 this degenerates to the
+/// paper's linear model; cost theta*x^2*(1+gamma*x) is a strictly convex
+/// cubic, so the KKT system has a unique interior solution at every R.
+class WorkloadLatency final : public LatencyFunction {
+ public:
+  WorkloadLatency(double theta, double gamma);
+  [[nodiscard]] double latency(double x) const override;
+  [[nodiscard]] double latency_derivative(double x) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<LatencyFunction> clone() const override;
+  [[nodiscard]] double theta() const { return theta_; }
+  [[nodiscard]] double gamma() const { return gamma_; }
+
+ private:
+  double theta_, gamma_;
+};
+
 /// Power-law latency l(x) = t * x^k, k >= 1 (used in property tests to
 /// exercise the general convex solver away from the linear special case).
 class PowerLatency final : public LatencyFunction {
@@ -172,6 +192,23 @@ class MM1Family final : public LatencyFamily {
       double theta) const override;
   [[nodiscard]] std::string name() const override { return "mm1"; }
   [[nodiscard]] std::unique_ptr<LatencyFamily> clone() const override;
+};
+
+/// theta -> WorkloadLatency(theta, gamma) with a fixed family-level
+/// congestion coefficient gamma > 0 (Zhang et al.'s workload-dependent
+/// service rates).  theta is again "seconds of work per job", so larger
+/// theta is slower, same one-parameter scale as the linear family.
+class WorkloadFamily final : public LatencyFamily {
+ public:
+  explicit WorkloadFamily(double gamma);
+  [[nodiscard]] std::unique_ptr<LatencyFunction> make(
+      double theta) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<LatencyFamily> clone() const override;
+  [[nodiscard]] double gamma() const { return gamma_; }
+
+ private:
+  double gamma_;
 };
 
 /// theta -> PowerLatency(theta, k) with fixed exponent k.

@@ -34,6 +34,8 @@ MechProbes& MechProbes::get() {
     p.allocs_avoided = r.counter("lbmv_mech_allocs_avoided_total");
     p.simd_rounds = r.counter("lbmv_mech_simd_rounds_total");
     p.sharded_rounds = r.counter("lbmv_mech_sharded_rounds_total");
+    p.nonlinear_rounds = r.counter("lbmv_mech_nonlinear_rounds_total");
+    p.newton_iters = r.counter("lbmv_mech_newton_iters_total");
     p.audit_evaluations = r.counter("lbmv_mech_audit_evaluations_total");
     p.loo_batches = r.counter("lbmv_mech_leave_one_out_batches_total");
     p.round_payment = r.histogram("lbmv_mech_round_payment");

@@ -26,6 +26,10 @@
 ///                                             engine (DESIGN.md §12)
 ///     lbmv_mech_sharded_rounds_total          vectorized rounds whose agent
 ///                                             axis fanned over the pool
+///     lbmv_mech_nonlinear_rounds_total        rounds on the fused nonlinear
+///                                             engines (DESIGN.md §14)
+///     lbmv_mech_newton_iters_total            KKT Newton iterations spent
+///                                             by the workload engine
 ///     lbmv_mech_audit_evaluations_total       audit grid points evaluated
 ///     lbmv_mech_leave_one_out_batches_total   leave-one-out batch solves
 ///     lbmv_pool_tasks_total                   thread-pool tasks executed
@@ -85,6 +89,8 @@ struct MechProbes {
   Counter allocs_avoided;
   Counter simd_rounds;
   Counter sharded_rounds;
+  Counter nonlinear_rounds;
+  Counter newton_iters;
   Counter audit_evaluations;
   Counter loo_batches;
   Histogram round_payment;

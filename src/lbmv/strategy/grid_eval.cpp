@@ -37,6 +37,8 @@ GridEvaluator::GridEvaluator(const DeviationEvaluator& evaluator,
     : evaluator_(&evaluator),
       linear_(dynamic_cast<const core::LinearPrProfileContext*>(
           evaluator.profile_context())),
+      mm1_(dynamic_cast<const core::Mm1PrProfileContext*>(
+          evaluator.profile_context())),
       pool_(pool) {}
 
 void GridEvaluator::utilities_into(std::size_t agent,
@@ -47,6 +49,8 @@ void GridEvaluator::utilities_into(std::size_t agent,
                                                  : Clock::time_point{};
   if (linear_ != nullptr) {
     core::linear_pr_grid_utilities(*linear_, agent, bids, execution, out);
+  } else if (mm1_ != nullptr) {
+    core::mm1_grid_utilities(*mm1_, agent, bids, execution, out);
   } else {
     LBMV_REQUIRE(out.size() >= bids.size(),
                  "output span must cover the candidate grid");
@@ -54,7 +58,7 @@ void GridEvaluator::utilities_into(std::size_t agent,
       out[k] = evaluator_->utility(agent, bids[k], execution);
     }
   }
-  note_sweep(linear_ != nullptr, bids.size(), start);
+  note_sweep(vectorized(), bids.size(), start);
 }
 
 GridEvaluator::Best GridEvaluator::best_response(std::size_t agent,
@@ -64,7 +68,14 @@ GridEvaluator::Best GridEvaluator::best_response(std::size_t agent,
   const Clock::time_point start = obs::enabled() ? Clock::now()
                                                  : Clock::time_point{};
   Best best;
-  if (linear_ == nullptr) {
+  if (mm1_ != nullptr) {
+    // Serial lane sweep (header comment on mm1_): one block chain on the
+    // caller's thread, bit-identical to the scalar scan by construction.
+    const core::GridBest b =
+        core::mm1_grid_best(*mm1_, agent, bids, execution);
+    best.index = b.index;
+    best.utility = b.utility;
+  } else if (linear_ == nullptr) {
     // Scalar fallback: strictly-greater first-wins scan, the same rule the
     // kernels' argmax reproduces.
     best.utility = evaluator_->utility(agent, bids[0], execution);
@@ -108,7 +119,7 @@ GridEvaluator::Best GridEvaluator::best_response(std::size_t agent,
       best.utility = b.utility;
     }
   }
-  note_sweep(linear_ != nullptr, bids.size(), start);
+  note_sweep(vectorized(), bids.size(), start);
   return best;
 }
 

@@ -53,9 +53,14 @@ class GridEvaluator {
   explicit GridEvaluator(const DeviationEvaluator& evaluator,
                          util::ThreadPool* pool = nullptr);
 
-  /// Whether sweeps ride the lane-parallel kernels (linear/PR closed form
-  /// present) rather than per-candidate scalar evaluator calls.
-  [[nodiscard]] bool vectorized() const { return linear_ != nullptr; }
+  /// Whether sweeps ride the lane-parallel kernels (linear/PR or M/M/1
+  /// closed form present) rather than per-candidate scalar evaluator calls.
+  /// Workload-family contexts stay scalar: the Newton re-solve per
+  /// candidate has no lane form (DESIGN.md §14), and the scalar loop is
+  /// trivially bit-identical to the DeviationEvaluator at any thread count.
+  [[nodiscard]] bool vectorized() const {
+    return linear_ != nullptr || mm1_ != nullptr;
+  }
 
   /// out[k] = utility of \p agent deviating to (bids[k], execution); \p out
   /// must be at least bids.size() long.
@@ -71,7 +76,12 @@ class GridEvaluator {
 
  private:
   const DeviationEvaluator* evaluator_;
-  const core::LinearPrProfileContext* linear_;  ///< nullptr: scalar fallback
+  const core::LinearPrProfileContext* linear_;  ///< nullptr: not linear/PR
+  /// M/M/1 closed-form context (nullptr otherwise).  M/M/1 sweeps run the
+  /// lane kernels serially — blocks may defer lanes to the scalar oracle,
+  /// and keeping the sweep on the caller's thread keeps those re-solves
+  /// (and their typed errors) trivially deterministic.
+  const core::Mm1PrProfileContext* mm1_;
   util::ThreadPool* pool_;
   mutable std::vector<core::GridBest> block_best_;  ///< reused fan-out slots
 };

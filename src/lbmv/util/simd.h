@@ -26,6 +26,7 @@
 /// not against the fallback backend.
 
 #include <bit>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 
@@ -81,6 +82,10 @@ inline void store(double* p, DVec a) { _mm256_storeu_pd(p, a.v); }
 [[nodiscard]] inline DVec neg(DVec a) {
   return {_mm256_xor_pd(a.v, _mm256_set1_pd(-0.0))};
 }
+
+/// Lane-wise square root.  VSQRTPD and std::sqrt are both IEEE-754 correctly
+/// rounded, so the backends stay bit-identical.
+[[nodiscard]] inline DVec sqrt(DVec a) { return {_mm256_sqrt_pd(a.v)}; }
 
 /// True when every lane satisfies a > b (ordered: NaN lanes fail).
 [[nodiscard]] inline bool all_greater(DVec a, DVec b) {
@@ -199,6 +204,14 @@ inline void store(double* p, DVec a) {
 [[nodiscard]] inline DVec neg(DVec a) {
   DVec r;
   for (std::size_t i = 0; i < kLanes; ++i) r.v[i] = -a.v[i];
+  return r;
+}
+
+/// Lane-wise square root.  VSQRTPD and std::sqrt are both IEEE-754 correctly
+/// rounded, so the backends stay bit-identical.
+[[nodiscard]] inline DVec sqrt(DVec a) {
+  DVec r;
+  for (std::size_t i = 0; i < kLanes; ++i) r.v[i] = std::sqrt(a.v[i]);
   return r;
 }
 

@@ -14,10 +14,13 @@
 #include <cstdlib>
 #include <memory>
 #include <new>
+#include <span>
 #include <vector>
 
 #include "lbmv/alloc/convex_allocator.h"
+#include "lbmv/alloc/mm1_allocator.h"
 #include "lbmv/core/batch.h"
+#include "lbmv/core/simd_round.h"
 #include "lbmv/core/comp_bonus.h"
 #include "lbmv/core/no_payment.h"
 #include "lbmv/core/vcg.h"
@@ -283,6 +286,61 @@ TEST(ZeroAllocation, WarmLinearRoundsNeverTouchTheHeap) {
     EXPECT_EQ(g_alloc_count.load(), 0u)
         << mechanism->name() << ": fused rounds allocated";
   }
+}
+
+TEST(ZeroAllocation, GenericArenaKeepsHighWaterAcrossShrinkAndGrow) {
+  // The generic-family latency-fn arena keeps its high-water size instead of
+  // resizing to exactly n every round: after a round at n = 64, rounds at
+  // n = 32 must leave the 64-slot planes intact, and returning to n = 64
+  // must cost exactly a steady-state round — no arena churn on either
+  // transition.  Forced onto the generic path (kScalar backend) so the
+  // arena is actually exercised.
+  auto family = std::make_shared<lbmv::model::MM1Family>();
+  const CompBonusMechanism mechanism(
+      std::make_shared<const lbmv::alloc::MM1Allocator>());
+  const auto backend = lbmv::core::kernel_backend();
+  lbmv::core::set_kernel_backend(lbmv::core::KernelBackend::kScalar);
+
+  const std::size_t big = 64;
+  const std::size_t small = 32;
+  std::vector<double> bids(big);
+  std::vector<double> execs(big);
+  lbmv::util::Rng rng(99);
+  double sum_mu_small = 0.0;
+  for (std::size_t i = 0; i < big; ++i) {
+    bids[i] = rng.uniform(0.5, 1.0);  // mu in [1, 2]: every computer active
+    execs[i] = bids[i] * 1.05;
+    if (i < small) sum_mu_small += 1.0 / bids[i];
+  }
+  const double rate = 0.4 * sum_mu_small;  // feasible at both sizes
+
+  RoundWorkspace ws;
+  MechanismOutcome out;
+  const auto count_round = [&](std::size_t n) {
+    g_alloc_count.store(0);
+    g_counting.store(true);
+    mechanism.run_into(*family, rate, std::span(bids).first(n),
+                       std::span(execs).first(n), out, ws);
+    g_counting.store(false);
+    return g_alloc_count.load();
+  };
+
+  count_round(big);  // warm-up: sizes every plane to the high-water mark
+  const std::size_t steady_big = count_round(big);
+  EXPECT_EQ(count_round(big), steady_big) << "warm rounds are not steady";
+
+  const std::size_t first_small = count_round(small);
+  const std::size_t steady_small = count_round(small);
+  EXPECT_EQ(first_small, steady_small)
+      << "shrinking the round allocated beyond a steady small round";
+  EXPECT_EQ(ws.exec_fns.size(), big)
+      << "arena shrank to the small round's size instead of keeping its "
+         "high-water capacity";
+  EXPECT_EQ(ws.bid_fns.size(), big);
+
+  EXPECT_EQ(count_round(big), steady_big)
+      << "growing back to the high-water size re-ran the arena setup";
+  lbmv::core::set_kernel_backend(backend);
 }
 
 TEST(ZeroAllocation, WarmSerialRunBatchNeverTouchesTheHeap) {

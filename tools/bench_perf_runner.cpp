@@ -51,7 +51,15 @@
 // (DESIGN.md §9): the single-round hot path timed with recording disabled
 // vs enabled (probes + invariant monitors live), the time-series sampler's
 // per-scrape cost, and a zero-violations monitor gate on the exit code
-// that dumps the flight recorder as JSONL when it fails.
+// that dumps the flight recorder as JSONL when it fails,
+//
+// plus a `nonlinear_round` section for the fused nonlinear-family round
+// kernels (DESIGN.md §14): one M/M/1 round and one workload-family round
+// at n = 256 / 1024 / 10000 through the generic virtual-dispatch arena
+// (kScalar backend, the scalar oracle) and the fused engines (kVectorized)
+// on the same mechanisms in this same run, with a fused-vs-generic outcome
+// differential and a Newton-vs-long-double-bisection check on the workload
+// KKT multiplier, both gating the exit code at 1e-9.
 //
 // The emitted document carries a top-level `sections` manifest listing
 // every section key actually written, so consumers (the CI perf-smoke
@@ -60,13 +68,15 @@
 //
 // `--smoke` shrinks every workload (CI-sized: n = 64, short timing
 // windows, sim/obs sections skipped) while still emitting the
-// strategy_throughput, batch_round_throughput, deviation_grid, and
-// obs_timeseries sections (deviation_grid keeping its n = 256 row so the
-// speedup gate stays meaningful) and running the full cross-checks.
+// strategy_throughput, batch_round_throughput, deviation_grid,
+// obs_timeseries, and nonlinear_round sections (deviation_grid keeping its
+// n = 256 row and nonlinear_round its n = 1024 row so the speedup gates
+// stay meaningful) and running the full cross-checks.
 
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <fstream>
 #include <limits>
 #include <iostream>
@@ -75,11 +85,14 @@
 #include <thread>
 #include <vector>
 
+#include "lbmv/alloc/mm1_allocator.h"
 #include "lbmv/alloc/pr_allocator.h"
+#include "lbmv/alloc/workload_allocator.h"
 #include "lbmv/core/audit.h"
 #include "lbmv/core/batch.h"
 #include "lbmv/core/comp_bonus.h"
 #include "lbmv/model/bids.h"
+#include "lbmv/model/latency.h"
 #include "lbmv/model/system_config.h"
 #include "lbmv/obs/flight_recorder.h"
 #include "lbmv/obs/metrics.h"
@@ -118,6 +131,67 @@ std::vector<double> random_types(std::size_t n, std::uint64_t seed) {
     ti = std::exp(rng.uniform(std::log(0.2), std::log(20.0)));
   }
   return t;
+}
+
+/// Mean service times in a narrow band (mu = 1/theta in [1, 2]): at
+/// R = half the total capacity every computer stays active in the full set
+/// and in all n leave-one-out subsystems, so the fused M/M/1 engine owns
+/// the round and the generic/fused comparison times identical all-active
+/// work (heterogeneous profiles that drop computers take the generic path
+/// by design; see family_round.h).
+std::vector<double> narrow_types(std::size_t n, std::uint64_t seed) {
+  lbmv::util::Rng rng(seed);
+  std::vector<double> t(n);
+  for (double& ti : t) {
+    ti = rng.uniform(0.5, 1.0);
+  }
+  return t;
+}
+
+/// Long-double bisection oracle for the workload-family KKT solve: brackets
+/// the conservation residual g(lambda) = sum_i x_i(lambda) - R from the
+/// guaranteed-below start 2R/S, bisects to long-double convergence, and
+/// returns the max relative error of the Newton rates against the oracle
+/// rates x_i(lambda*).
+double workload_bisection_max_rel_err(std::span<const double> thetas,
+                                      double gamma, double arrival_rate,
+                                      std::span<const double> newton_rates) {
+  const long double g3 = 3.0L * static_cast<long double>(gamma);
+  const auto rate_at = [&](long double lambda, double theta) {
+    return (std::sqrt(1.0L + g3 * lambda / static_cast<long double>(theta)) -
+            1.0L) /
+           g3;
+  };
+  const auto residual = [&](long double lambda) {
+    long double sum = 0.0L;
+    for (double theta : thetas) sum += rate_at(lambda, theta);
+    return sum - static_cast<long double>(arrival_rate);
+  };
+  long double inv_sum = 0.0L;
+  for (double theta : thetas) inv_sum += 1.0L / theta;
+  // x_i(lambda) <= lambda / (2 theta_i), so g(2R/S) <= 0: a valid lower
+  // bracket (the same start the Newton solver uses).
+  long double lo = 2.0L * static_cast<long double>(arrival_rate) / inv_sum;
+  long double hi = lo > 0.0L ? 2.0L * lo : 1.0L;
+  while (residual(hi) <= 0.0L) hi *= 2.0L;
+  for (int it = 0; it < 200; ++it) {
+    const long double mid = 0.5L * (lo + hi);
+    if (residual(mid) <= 0.0L) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const long double lambda = 0.5L * (lo + hi);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    const long double oracle = rate_at(lambda, thetas[i]);
+    const double err = static_cast<double>(
+        std::fabs(static_cast<long double>(newton_rates[i]) - oracle) /
+        std::fmax(1.0L, std::fabs(oracle)));
+    max_err = std::max(max_err, err);
+  }
+  return max_err;
 }
 
 /// Seconds per call: warm up once, then repeat until the total exceeds
@@ -1092,6 +1166,191 @@ int main(int argc, char** argv) {
               << "\n";
   }
 
+  // Fused nonlinear-family rounds (DESIGN.md §14): one full mechanism round
+  // on the M/M/1 and workload-dependent-rate families through the generic
+  // virtual-dispatch arena (kScalar backend — the scalar oracle, fresh
+  // active-set machinery and per-agent virtual latency calls) and the fused
+  // engines (kVectorized — closed form / damped-free Newton on workspace
+  // planes), same mechanisms, same profiles, same process.  Differential
+  // gates on the exit code: fused vs generic outcomes at 1e-9 for both
+  // families, and the workload Newton rates against a long-double bisection
+  // oracle on the KKT multiplier at 1e-9.
+  JsonValue::Object nonlinear_round;
+  bool nonlinear_check_pass = true;
+  {
+    const double tmin = smoke ? 0.05 : 0.3;
+    const int treps = smoke ? 2 : 3;
+    // Smoke keeps the n = 1024 row: the CI perf-smoke check asserts the
+    // >= 3x fused speedup there, so the gated configuration must exist in
+    // the smoke document too.
+    const std::vector<std::size_t> nl_sizes =
+        smoke ? std::vector<std::size_t>{256, 1024}
+              : std::vector<std::size_t>{256, 1024, 10'000};
+    const lbmv::model::MM1Family mm1_family;
+    const double gamma = 0.5;
+    const lbmv::model::WorkloadFamily workload_family(gamma);
+    const lbmv::core::CompBonusMechanism mm1_mechanism(
+        std::make_shared<const lbmv::alloc::MM1Allocator>());
+    const lbmv::core::CompBonusMechanism workload_mechanism(
+        std::make_shared<const lbmv::alloc::WorkloadAllocator>());
+    const lbmv::core::KernelBackend entry_backend =
+        lbmv::core::kernel_backend();
+    constexpr lbmv::core::RoundOptions serial_round{/*shards=*/1,
+                                                    /*pool=*/nullptr};
+    JsonValue::Array nl_series;
+    double mm1_max_err = 0.0;
+    double workload_max_err = 0.0;
+    double bisect_max_err = 0.0;
+    double mm1_speedup_n1024 = 0.0;
+    std::uint64_t fused_rounds_probed = 0;
+    std::uint64_t newton_iters_probed = 0;
+    for (std::size_t n : nl_sizes) {
+      const auto thetas = narrow_types(n, 57);
+      auto execs = thetas;
+      for (double& e : execs) e *= 1.05;  // keeps x_i < mu~_i (stable queues)
+      double sum_mu = 0.0;
+      for (double theta : thetas) sum_mu += 1.0 / theta;
+      const double mm1_rate = 0.5 * sum_mu;  // half capacity: all active
+
+      lbmv::core::RoundWorkspace ws;
+      lbmv::core::MechanismOutcome generic_outcome;
+      lbmv::core::MechanismOutcome fused_outcome;
+
+      lbmv::core::set_kernel_backend(lbmv::core::KernelBackend::kScalar);
+      const double mm1_generic_secs = seconds_per_call(
+          [&] {
+            mm1_mechanism.run_into(mm1_family, mm1_rate, thetas, execs,
+                                   generic_outcome, ws, serial_round);
+          },
+          tmin, treps);
+      lbmv::core::set_kernel_backend(lbmv::core::KernelBackend::kVectorized);
+      const double mm1_fused_secs = seconds_per_call(
+          [&] {
+            mm1_mechanism.run_into(mm1_family, mm1_rate, thetas, execs,
+                                   fused_outcome, ws, serial_round);
+          },
+          tmin, treps);
+      mm1_max_err = std::max(
+          mm1_max_err, outcome_max_rel_err(fused_outcome, generic_outcome));
+
+      const double workload_rate = static_cast<double>(n);
+      lbmv::core::set_kernel_backend(lbmv::core::KernelBackend::kScalar);
+      const double workload_generic_secs = seconds_per_call(
+          [&] {
+            workload_mechanism.run_into(workload_family, workload_rate,
+                                        thetas, execs, generic_outcome, ws,
+                                        serial_round);
+          },
+          tmin, treps);
+      lbmv::core::set_kernel_backend(lbmv::core::KernelBackend::kVectorized);
+      const double workload_fused_secs = seconds_per_call(
+          [&] {
+            workload_mechanism.run_into(workload_family, workload_rate,
+                                        thetas, execs, fused_outcome, ws,
+                                        serial_round);
+          },
+          tmin, treps);
+      workload_max_err = std::max(
+          workload_max_err,
+          outcome_max_rel_err(fused_outcome, generic_outcome));
+
+      // Probe-verified engagement, outside the timed regions: with
+      // recording on, one fused round per family must bump
+      // lbmv_mech_nonlinear_rounds_total (a silent fall-through to the
+      // generic path would make the fused timings above a lie).
+      lbmv::obs::Registry::global().reset();
+      lbmv::obs::set_enabled(true);
+      mm1_mechanism.run_into(mm1_family, mm1_rate, thetas, execs,
+                             fused_outcome, ws, serial_round);
+      workload_mechanism.run_into(workload_family, workload_rate, thetas,
+                                  execs, fused_outcome, ws, serial_round);
+      lbmv::obs::set_enabled(false);
+      {
+        const lbmv::obs::MetricsSnapshot snap =
+            lbmv::obs::Registry::global().snapshot();
+        const auto counter = [&](const char* name) -> std::uint64_t {
+          const auto it = snap.counters.find(name);
+          return it == snap.counters.end() ? 0 : it->second;
+        };
+        fused_rounds_probed = counter("lbmv_mech_nonlinear_rounds_total");
+        newton_iters_probed = counter("lbmv_mech_newton_iters_total");
+        if (lbmv::obs::kCompiledIn && fused_rounds_probed != 2) {
+          nonlinear_check_pass = false;
+          std::cerr << "nonlinear rounds fell through to the generic path "
+                       "(probed "
+                    << fused_rounds_probed << " fused rounds, expected 2)\n";
+        }
+        lbmv::obs::Registry::global().reset();
+      }
+
+      // Newton vs long-double bisection on the workload KKT system.
+      std::vector<double> newton_rates(n);
+      const lbmv::alloc::WorkloadSolve solve = lbmv::alloc::workload_solve_into(
+          thetas, gamma, workload_rate, newton_rates);
+      bisect_max_err = std::max(
+          bisect_max_err, workload_bisection_max_rel_err(
+                              thetas, gamma, workload_rate, newton_rates));
+
+      const double mm1_speedup = mm1_generic_secs / mm1_fused_secs;
+      const double workload_speedup =
+          workload_generic_secs / workload_fused_secs;
+      if (n == 1024) mm1_speedup_n1024 = mm1_speedup;
+      JsonValue::Object entry;
+      entry["n"] = static_cast<double>(n);
+      entry["mm1_generic_rounds_per_sec"] = 1.0 / mm1_generic_secs;
+      entry["mm1_fused_rounds_per_sec"] = 1.0 / mm1_fused_secs;
+      entry["mm1_fused_speedup"] = mm1_speedup;
+      entry["workload_generic_rounds_per_sec"] = 1.0 / workload_generic_secs;
+      entry["workload_fused_rounds_per_sec"] = 1.0 / workload_fused_secs;
+      entry["workload_fused_speedup"] = workload_speedup;
+      entry["workload_newton_iters"] = static_cast<double>(solve.iterations);
+      nl_series.emplace_back(std::move(entry));
+      std::cout << "nonlinear_round n=" << n << ": mm1 generic "
+                << 1.0 / mm1_generic_secs << " rounds/s, fused "
+                << 1.0 / mm1_fused_secs << " (" << mm1_speedup
+                << "x); workload generic " << 1.0 / workload_generic_secs
+                << " rounds/s, fused " << 1.0 / workload_fused_secs << " ("
+                << workload_speedup << "x, " << solve.iterations
+                << " Newton iters)\n";
+    }
+    lbmv::core::set_kernel_backend(entry_backend);
+
+    if (mm1_max_err >= 1e-9) nonlinear_check_pass = false;
+    if (workload_max_err >= 1e-9) nonlinear_check_pass = false;
+    if (bisect_max_err >= 1e-9) nonlinear_check_pass = false;
+    if (mm1_speedup_n1024 > 0.0) {
+      derived["nonlinear_round_speedup_n1024"] = mm1_speedup_n1024;
+    }
+    nonlinear_round["series"] = std::move(nl_series);
+    nonlinear_round["mm1_differential_max_rel_err"] = mm1_max_err;
+    nonlinear_round["workload_differential_max_rel_err"] = workload_max_err;
+    nonlinear_round["newton_vs_bisection_max_rel_err"] = bisect_max_err;
+    nonlinear_round["fused_rounds_probed"] =
+        static_cast<double>(fused_rounds_probed);
+    nonlinear_round["newton_iters_probed"] =
+        static_cast<double>(newton_iters_probed);
+    nonlinear_round["cross_check_pass"] = nonlinear_check_pass;
+    nonlinear_round["vector_backend"] =
+        std::string(lbmv::core::vector_backend_name());
+    nonlinear_round["hardware_concurrency"] =
+        static_cast<double>(std::thread::hardware_concurrency());
+    nonlinear_round["threads_used"] = 1.0;  // both engines run agent-serial
+    nonlinear_round["note"] =
+        "generic rows run the virtual-dispatch arena path (kScalar backend) "
+        "on the same MM1Allocator/WorkloadAllocator mechanisms as the fused "
+        "rows (kVectorized), so the ratio isolates the §14 fused engines; "
+        "narrow service-rate band keeps every computer active (profiles "
+        "that drop computers take the generic path by design); "
+        "newton_vs_bisection re-solves the workload KKT system with a "
+        "long-double bisection oracle; probe fields are from one recorded "
+        "fused round per family (outside the timed regions) at the largest "
+        "n, asserting the fused engines actually engaged";
+    std::cout << "nonlinear cross-check: mm1 max rel err " << mm1_max_err
+              << ", workload " << workload_max_err << ", bisection "
+              << bisect_max_err << " -> "
+              << (nonlinear_check_pass ? "pass" : "FAIL") << "\n";
+  }
+
   JsonValue::Object doc;
   doc["schema"] = "lbmv-bench-perf-v1";
   doc["arrival_rate"] = arrival_rate;
@@ -1106,6 +1365,7 @@ int main(int argc, char** argv) {
   doc["batch_round_throughput"] = std::move(batch_round_throughput);
   doc["deviation_grid"] = std::move(deviation_grid);
   doc["obs_timeseries"] = std::move(obs_timeseries);
+  doc["nonlinear_round"] = std::move(nonlinear_round);
 
   // Machine-checkable shape manifest: every composite (object/array)
   // section actually present in this document, in dump order.  The CI
@@ -1140,6 +1400,10 @@ int main(int argc, char** argv) {
   }
   if (!obs_check_pass) {
     std::cerr << "obs invariant-monitor gate FAILED\n";
+    return 1;
+  }
+  if (!nonlinear_check_pass) {
+    std::cerr << "nonlinear round kernels cross-check FAILED\n";
     return 1;
   }
   return 0;
