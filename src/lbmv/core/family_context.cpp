@@ -210,6 +210,18 @@ void Mm1PrProfileContext::commit(std::size_t agent, double bid,
   rebuild();
 }
 
+void Mm1PrProfileContext::commit_batch(std::span<const BidDelta> deltas) {
+  if (deltas.empty()) return;
+  for (const BidDelta& d : deltas) {
+    LBMV_ASSERT(d.agent < profile_.size(), "agent index out of range");
+    LBMV_REQUIRE(d.bid > 0.0, "bids must be positive");
+    LBMV_REQUIRE(d.execution > 0.0, "execution values must be positive");
+    profile_.bids[d.agent] = d.bid;
+    profile_.executions[d.agent] = d.execution;
+  }
+  rebuild();
+}
+
 void Mm1PrProfileContext::outcome_into(MechanismOutcome& out) const {
   const std::size_t n = profile_.size();
   std::vector<double> rates = std::move(out.allocation).release();
@@ -343,6 +355,18 @@ void WorkloadProfileContext::commit(std::size_t agent, double bid,
   LBMV_REQUIRE(execution > 0.0, "execution values must be positive");
   profile_.bids[agent] = bid;
   profile_.executions[agent] = execution;
+  rebuild();
+}
+
+void WorkloadProfileContext::commit_batch(std::span<const BidDelta> deltas) {
+  if (deltas.empty()) return;
+  for (const BidDelta& d : deltas) {
+    LBMV_ASSERT(d.agent < profile_.size(), "agent index out of range");
+    LBMV_REQUIRE(d.bid > 0.0, "bids must be positive");
+    LBMV_REQUIRE(d.execution > 0.0, "execution values must be positive");
+    profile_.bids[d.agent] = d.bid;
+    profile_.executions[d.agent] = d.execution;
+  }
   rebuild();
 }
 

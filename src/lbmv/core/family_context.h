@@ -48,6 +48,11 @@ class Mm1PrProfileContext final : public ProfileUtilityContext {
   [[nodiscard]] double utility(std::size_t agent, double bid,
                                double execution) const override;
   void commit(std::size_t agent, double bid, double execution) override;
+  /// k simultaneous commits, one O(n) re-derivation instead of k: the
+  /// rebuild is a pure function of the committed planes, so writing every
+  /// entry first and re-scanning once is state-identical to the sequential
+  /// loop (whose intermediate rebuilds are discarded by the final one).
+  void commit_batch(std::span<const BidDelta> deltas) override;
   void outcome_into(MechanismOutcome& out) const override;
   [[nodiscard]] double actual_latency() const override { return actual_; }
   [[nodiscard]] const model::BidProfile& profile() const override {
@@ -110,6 +115,10 @@ class WorkloadProfileContext final : public ProfileUtilityContext {
   [[nodiscard]] double utility(std::size_t agent, double bid,
                                double execution) const override;
   void commit(std::size_t agent, double bid, double execution) override;
+  /// k simultaneous commits, one cold-start Newton re-derivation instead of
+  /// k (see Mm1PrProfileContext::commit_batch for the state-identity
+  /// argument — rebuild() reads nothing but the committed planes).
+  void commit_batch(std::span<const BidDelta> deltas) override;
   void outcome_into(MechanismOutcome& out) const override;
   [[nodiscard]] double actual_latency() const override { return actual_; }
   [[nodiscard]] const model::BidProfile& profile() const override {

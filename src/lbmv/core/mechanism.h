@@ -89,6 +89,15 @@ class AgentUtilityContext {
   [[nodiscard]] virtual double utility(double bid, double execution) const = 0;
 };
 
+/// One agent's pending (bid, execution) change, addressed by index.  The
+/// unit of work for batched commits (ProfileUtilityContext::commit_batch)
+/// and for the cross-round delta engine (delta_engine.h).
+struct BidDelta {
+  std::size_t agent = 0;
+  double bid = 0.0;
+  double execution = 0.0;
+};
+
 /// Strategy fast path: the utility of *any* agent under a unilateral
 /// deviation from a committed base profile, plus an O(1) way to make a
 /// deviation permanent.  Built by Mechanism::make_profile_context once per
@@ -115,6 +124,17 @@ class ProfileUtilityContext {
   /// Make a deviation permanent: agent now bids \p bid and executes at
   /// \p execution for all subsequent queries.
   virtual void commit(std::size_t agent, double bid, double execution) = 0;
+
+  /// Make k deviations permanent in one call.  The default loops commit()
+  /// in order, so the final state is exactly the sequential one; contexts
+  /// whose per-commit cost is a full O(n) re-derivation override this to
+  /// write all k entries first and re-derive once — the re-derivation is
+  /// from scratch at the final profile, so the override is state-identical
+  /// to the sequential loop with k times less work.  Later entries for the
+  /// same agent win (sequential semantics).
+  virtual void commit_batch(std::span<const BidDelta> deltas) {
+    for (const BidDelta& d : deltas) commit(d.agent, d.bid, d.execution);
+  }
 
   /// Full mechanism outcome at the committed profile, filled into \p out
   /// (reusing its capacity where possible).

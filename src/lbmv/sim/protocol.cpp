@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "lbmv/core/batch.h"
+#include "lbmv/core/delta_engine.h"
 #include "lbmv/obs/monitor.h"
 #include "lbmv/obs/probes.h"
 #include "lbmv/obs/trace.h"
@@ -112,11 +113,15 @@ RoundReport VerifiedProtocol::run_round(const model::SystemConfig& config,
   }
 
   // Step 5: payments (n messages) — at the estimates, and at the paper's
-  // oracle values for comparison.  Both rounds share this thread's reusable
-  // workspace, so replication loops stop allocating per round.
-  core::RoundWorkspace& ws = core::RoundWorkspace::thread_local_instance();
-  mechanism_->run_into(config, verified, report.outcome, ws);
-  mechanism_->run_into(config, intents, report.oracle_outcome, ws);
+  // oracle values for comparison.  Both rounds share one delta engine: the
+  // bids are identical, only the execution plane differs between verified
+  // and intents, so the second round is an O(k)-in-changed-entries sync of
+  // the first rather than a second from-scratch round.
+  core::DeltaRoundEngine engine(*mechanism_, config.family_ptr(),
+                                config.arrival_rate(), verified);
+  report.outcome = engine.outcome();
+  engine.sync(intents.bids, intents.executions);
+  report.oracle_outcome = engine.outcome();
   report.messages += n;
   if (obs::enabled()) {
     // Record-only residual gauge: how much the estimation noise moved the

@@ -1,6 +1,7 @@
 #include "lbmv/strategy/deviation.h"
 
 #include <cmath>
+#include <cstdint>
 #include <utility>
 
 #include "lbmv/obs/probes.h"
@@ -73,6 +74,31 @@ void DeviationEvaluator::commit(std::size_t agent, double bid,
   profile_.executions[agent] = execution;
   scratch_.bids[agent] = bid;
   scratch_.executions[agent] = execution;
+}
+
+void DeviationEvaluator::commit_batch(
+    std::span<const core::BidDelta> deltas) {
+  for (const core::BidDelta& d : deltas) {
+    LBMV_REQUIRE(d.agent < profile().size(), "agent index out of range");
+    LBMV_REQUIRE(d.bid > 0.0 && std::isfinite(d.bid) && d.execution > 0.0 &&
+                     std::isfinite(d.execution),
+                 "deviations must have positive finite bid and execution");
+  }
+  if (deltas.empty()) return;
+  if (obs::enabled()) {
+    obs::StrategyProbes::get().commits.inc(
+        static_cast<std::uint64_t>(deltas.size()));
+  }
+  if (context_ != nullptr) {
+    context_->commit_batch(deltas);
+    return;
+  }
+  for (const core::BidDelta& d : deltas) {
+    profile_.bids[d.agent] = d.bid;
+    profile_.executions[d.agent] = d.execution;
+    scratch_.bids[d.agent] = d.bid;
+    scratch_.executions[d.agent] = d.execution;
+  }
 }
 
 void DeviationEvaluator::outcome_into(core::MechanismOutcome& out) const {

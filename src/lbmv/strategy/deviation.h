@@ -60,6 +60,13 @@ class DeviationEvaluator {
   /// on the incremental path.
   void commit(std::size_t agent, double bid, double execution);
 
+  /// Make k deviations permanent in one call (later entries for the same
+  /// agent win).  State-identical to committing sequentially; contexts
+  /// whose single commit is a full O(n) re-derivation (the nonlinear
+  /// families) re-derive once for the whole batch instead of k times, so a
+  /// simultaneous-move round (learning dynamics) pays one rebuild.
+  void commit_batch(std::span<const core::BidDelta> deltas);
+
   /// Full mechanism outcome at the committed profile (equal to
   /// mechanism.run(config, profile()) up to roundoff), reusing \p out's
   /// storage.

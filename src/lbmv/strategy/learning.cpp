@@ -109,13 +109,21 @@ LearningResult run_learning(const core::Mechanism& mechanism,
   const std::size_t ne = options.exec_arms.size();
   std::vector<double> bid_row(options.full_feedback ? nb : 0);
   std::vector<double> util_row(options.full_feedback ? nb : 0);
+  // Simultaneous-move round: every learner picks, then all k picks land as
+  // one batched commit — the nonlinear contexts re-derive their planes once
+  // per round instead of once per learner (state-identical either way).
+  std::vector<core::BidDelta> moves;
+  moves.reserve(n);
   for (int round = 0; round < options.rounds; ++round) {
+    moves.clear();
     for (std::size_t i = 0; i < n; ++i) {
       if (!learns(i)) continue;
       chosen[i] = learners[i].pick(epsilon);
       const double t = config.true_value(i);
-      evaluator.commit(i, arm_bid(chosen[i]) * t, arm_exec(chosen[i]) * t);
+      moves.push_back(core::BidDelta{i, arm_bid(chosen[i]) * t,
+                                     arm_exec(chosen[i]) * t});
     }
+    evaluator.commit_batch(moves);
     evaluator.outcome_into(outcome);
     result.latency_trace.push_back(outcome.actual_latency);
     for (std::size_t i = 0; i < n; ++i) {

@@ -1,0 +1,542 @@
+// Differential suite for the cross-round delta engine (DESIGN.md §15): the
+// O(k)-maintained aggregates must stay within 1e-9 of a from-scratch
+// rebuild across every mechanism and latency family — through bid/execution
+// deltas, membership add/remove churn (including remove-then-re-add round
+// trips), and 300+ deltas of accumulated drift — while the lazily
+// materialized outcome stays bit-identical to the full-round path, and the
+// hot loops wired onto the engine (epochs, protocol, learning) reproduce
+// the full-round trajectories bit-for-bit at 1, 2 and 8 threads.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lbmv/alloc/mm1_allocator.h"
+#include "lbmv/alloc/pr_allocator.h"
+#include "lbmv/alloc/workload_allocator.h"
+#include "lbmv/core/archer_tardos.h"
+#include "lbmv/core/comp_bonus.h"
+#include "lbmv/core/delta_engine.h"
+#include "lbmv/core/no_payment.h"
+#include "lbmv/core/vcg.h"
+#include "lbmv/model/bids.h"
+#include "lbmv/model/latency.h"
+#include "lbmv/model/system_config.h"
+#include "lbmv/sim/epochs.h"
+#include "lbmv/sim/protocol.h"
+#include "lbmv/strategy/deviation.h"
+#include "lbmv/strategy/learning.h"
+#include "lbmv/util/error.h"
+#include "lbmv/util/rng.h"
+#include "lbmv/util/thread_pool.h"
+
+namespace {
+
+using lbmv::core::BidDelta;
+using lbmv::core::DeltaRoundEngine;
+using lbmv::core::Mechanism;
+using lbmv::core::MechanismOutcome;
+using lbmv::core::RoundScalars;
+using lbmv::model::LatencyFamily;
+using lbmv::util::PreconditionError;
+
+constexpr double kTol = 1e-9;
+
+double rel_err(double a, double b) {
+  return std::fabs(a - b) / std::max({1.0, std::fabs(a), std::fabs(b)});
+}
+
+/// One (mechanism, family, feasible arrival rate) test case.
+struct Case {
+  std::string name;
+  std::shared_ptr<const Mechanism> mechanism;
+  std::shared_ptr<const LatencyFamily> family;
+  double arrival_rate;
+};
+
+std::vector<double> band_types(std::size_t n, std::uint64_t seed) {
+  lbmv::util::Rng rng(seed);
+  std::vector<double> t(n);
+  for (double& ti : t) ti = 0.8 + 0.5 * rng.uniform();
+  return t;
+}
+
+/// Every mechanism on every family it supports.  Arrival rates keep every
+/// profile this suite perturbs (bids x [0.8, 1.2], executions x [1, 1.05])
+/// feasible: M/M/1 stays under half capacity, linear/workload are
+/// unconstrained.
+std::vector<Case> all_cases(std::size_t n, std::uint64_t seed) {
+  using lbmv::core::CompBonusMechanism;
+  using lbmv::core::CompensationBasis;
+  const auto types = band_types(n, seed);
+  double sum_mu = 0.0;
+  for (double t : types) sum_mu += 1.0 / t;
+  const double mm1_rate = 0.4 * sum_mu;
+  const double linear_rate = 20.0;
+  const double workload_rate = static_cast<double>(n);
+
+  const auto linear = std::make_shared<const lbmv::model::LinearFamily>();
+  const auto mm1 = std::make_shared<const lbmv::model::MM1Family>();
+  const auto workload =
+      std::make_shared<const lbmv::model::WorkloadFamily>(0.5);
+  const auto pr = std::make_shared<const lbmv::alloc::PRAllocator>();
+  const auto mm1_alloc = std::make_shared<const lbmv::alloc::MM1Allocator>();
+  const auto workload_alloc =
+      std::make_shared<const lbmv::alloc::WorkloadAllocator>();
+
+  std::vector<Case> cases;
+  const auto add = [&](std::string name,
+                       std::shared_ptr<const Mechanism> mech,
+                       std::shared_ptr<const LatencyFamily> fam,
+                       double rate) {
+    cases.push_back({std::move(name), std::move(mech), std::move(fam), rate});
+  };
+  add("comp_bonus_exec/linear",
+      std::make_shared<const CompBonusMechanism>(pr,
+                                                 CompensationBasis::kExecution),
+      linear, linear_rate);
+  add("comp_bonus_bid/linear",
+      std::make_shared<const CompBonusMechanism>(pr, CompensationBasis::kBid),
+      linear, linear_rate);
+  add("vcg/linear", std::make_shared<const lbmv::core::VcgMechanism>(pr),
+      linear, linear_rate);
+  add("no_payment/linear",
+      std::make_shared<const lbmv::core::NoPaymentMechanism>(pr), linear,
+      linear_rate);
+  add("archer_tardos/linear",
+      std::make_shared<const lbmv::core::ArcherTardosMechanism>(), linear,
+      linear_rate);
+  add("comp_bonus_exec/mm1",
+      std::make_shared<const CompBonusMechanism>(mm1_alloc,
+                                                 CompensationBasis::kExecution),
+      mm1, mm1_rate);
+  add("comp_bonus_bid/mm1",
+      std::make_shared<const CompBonusMechanism>(mm1_alloc,
+                                                 CompensationBasis::kBid),
+      mm1, mm1_rate);
+  add("vcg/mm1", std::make_shared<const lbmv::core::VcgMechanism>(mm1_alloc),
+      mm1, mm1_rate);
+  add("no_payment/mm1",
+      std::make_shared<const lbmv::core::NoPaymentMechanism>(mm1_alloc), mm1,
+      mm1_rate);
+  add("comp_bonus_exec/workload",
+      std::make_shared<const CompBonusMechanism>(workload_alloc,
+                                                 CompensationBasis::kExecution),
+      workload, workload_rate);
+  add("vcg/workload",
+      std::make_shared<const lbmv::core::VcgMechanism>(workload_alloc),
+      workload, workload_rate);
+  add("no_payment/workload",
+      std::make_shared<const lbmv::core::NoPaymentMechanism>(workload_alloc),
+      workload, workload_rate);
+  return cases;
+}
+
+/// Delta-maintained aggregates vs a freshly-built engine on the same planes.
+void expect_matches_fresh(DeltaRoundEngine& engine, const Case& c,
+                          const std::string& what) {
+  DeltaRoundEngine fresh(*c.mechanism, c.family, c.arrival_rate,
+                         engine.bids(), engine.executions());
+  const RoundScalars a = engine.scalars();
+  const RoundScalars b = fresh.scalars();
+  EXPECT_LT(rel_err(a.optimal_latency, b.optimal_latency), kTol)
+      << c.name << ": " << what;
+  EXPECT_LT(rel_err(a.total_cost, b.total_cost), kTol) << c.name << ": "
+                                                       << what;
+  EXPECT_LT(rel_err(a.actual_latency, b.actual_latency), kTol)
+      << c.name << ": " << what;
+  EXPECT_LT(rel_err(a.alloc_parameter, b.alloc_parameter), kTol)
+      << c.name << ": " << what;
+  for (std::size_t i = 0; i < engine.size(); i += 7) {
+    EXPECT_LT(rel_err(engine.leave_one_out(i), fresh.leave_one_out(i)), kTol)
+        << c.name << ": " << what << " (leave-one-out agent " << i << ")";
+  }
+  // The optimum must also agree with the allocator queried directly.
+  EXPECT_LT(rel_err(a.optimal_latency,
+                    c.mechanism->allocator().optimal_latency(
+                        *c.family, engine.bids(), c.arrival_rate)),
+            kTol)
+      << c.name << ": " << what << " (allocator ground truth)";
+}
+
+TEST(DeltaVsRebuild, BidDeltasAcrossAllMechanismsAndFamilies) {
+  const std::size_t n = 48;
+  for (const Case& c : all_cases(n, 11)) {
+    const auto types = band_types(n, 11);
+    DeltaRoundEngine engine(*c.mechanism, c.family, c.arrival_rate, types,
+                            types);
+    lbmv::util::Rng rng(17);
+    for (int d = 0; d < 100; ++d) {
+      const auto agent = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      const double bid = types[agent] * (0.8 + 0.4 * rng.uniform());
+      engine.apply(agent, bid, bid * (1.0 + 0.05 * rng.uniform()));
+    }
+    expect_matches_fresh(engine, c, "after 100 bid deltas");
+  }
+}
+
+TEST(DeltaVsRebuild, DriftStaysBoundedAfterHundredsOfDeltas) {
+  const std::size_t n = 40;
+  for (const Case& c : all_cases(n, 23)) {
+    const auto types = band_types(n, 23);
+    DeltaRoundEngine engine(*c.mechanism, c.family, c.arrival_rate, types,
+                            types);
+    lbmv::util::Rng rng(29);
+    // 350 deltas crosses several max(64, n) rebuild periods; the drift
+    // between rebuilds (and right before one) must stay under the 1e-9
+    // contract.
+    for (int d = 0; d < 350; ++d) {
+      const auto agent = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      const double bid = types[agent] * (0.8 + 0.4 * rng.uniform());
+      engine.apply(agent, bid, bid * (1.0 + 0.05 * rng.uniform()));
+      if (d % 97 == 0) (void)engine.scalars();  // query mid-stream too
+    }
+    EXPECT_LT(engine.deltas_since_rebuild(), std::max<std::size_t>(64, n))
+        << c.name;
+    expect_matches_fresh(engine, c, "after 350 deltas");
+  }
+}
+
+TEST(Membership, AddAndRemoveMatchFullRebuild) {
+  const std::size_t n = 24;
+  for (const Case& c : all_cases(n, 31)) {
+    const auto types = band_types(n, 31);
+    DeltaRoundEngine engine(*c.mechanism, c.family, c.arrival_rate, types,
+                            types);
+    lbmv::util::Rng rng(37);
+    for (int d = 0; d < 30; ++d) {
+      const double roll = rng.uniform();
+      if (roll < 0.3 && engine.size() >= 4) {
+        engine.remove_agent(static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(engine.size()) - 1)));
+      } else if (roll < 0.6) {
+        (void)engine.add_agent(0.8 + 0.5 * rng.uniform(),
+                               0.8 + 0.6 * rng.uniform());
+      } else {
+        const auto agent = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(engine.size()) - 1));
+        const double bid = 0.8 + 0.5 * rng.uniform();
+        engine.apply(agent, bid, bid * (1.0 + 0.05 * rng.uniform()));
+      }
+    }
+    expect_matches_fresh(engine, c, "after membership churn");
+  }
+}
+
+TEST(Membership, RemoveThenReAddRoundTripsTheScalars) {
+  const std::size_t n = 16;
+  for (const Case& c : all_cases(n, 41)) {
+    const auto types = band_types(n, 41);
+    DeltaRoundEngine engine(*c.mechanism, c.family, c.arrival_rate, types,
+                            types);
+    const RoundScalars before = engine.scalars();
+    // Remove from the middle (exercises the swap-with-last semantics), then
+    // re-add the same (bid, execution): the multiset of agents is restored,
+    // and every scalar is permutation-invariant.
+    const std::size_t victim = n / 2;
+    const double bid = engine.bids()[victim];
+    const double exec = engine.executions()[victim];
+    engine.remove_agent(victim);
+    EXPECT_EQ(engine.size(), n - 1) << c.name;
+    (void)engine.add_agent(bid, exec);
+    EXPECT_EQ(engine.size(), n) << c.name;
+    const RoundScalars after = engine.scalars();
+    EXPECT_LT(rel_err(before.optimal_latency, after.optimal_latency), kTol)
+        << c.name;
+    EXPECT_LT(rel_err(before.actual_latency, after.actual_latency), kTol)
+        << c.name;
+    EXPECT_LT(rel_err(before.alloc_parameter, after.alloc_parameter), kTol)
+        << c.name;
+    expect_matches_fresh(engine, c, "after remove/re-add round trip");
+  }
+}
+
+TEST(Outcome, MaterializationIsBitIdenticalToRunInto) {
+  const std::size_t n = 32;
+  for (const Case& c : all_cases(n, 47)) {
+    const auto types = band_types(n, 47);
+    DeltaRoundEngine engine(*c.mechanism, c.family, c.arrival_rate, types,
+                            types);
+    engine.apply(3, types[3] * 1.1, types[3] * 1.12);
+    engine.apply(n - 1, types[n - 1] * 0.9, types[n - 1] * 0.93);
+
+    lbmv::core::RoundWorkspace ws;
+    MechanismOutcome expected;
+    c.mechanism->run_into(*c.family, c.arrival_rate, engine.bids(),
+                          engine.executions(), expected, ws);
+    const MechanismOutcome& actual = engine.outcome();
+    ASSERT_EQ(actual.agents.size(), expected.agents.size()) << c.name;
+    EXPECT_EQ(actual.actual_latency, expected.actual_latency) << c.name;
+    EXPECT_EQ(actual.reported_latency, expected.reported_latency) << c.name;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(actual.agents[i].allocation, expected.agents[i].allocation)
+          << c.name << " agent " << i;
+      EXPECT_EQ(actual.agents[i].payment, expected.agents[i].payment)
+          << c.name << " agent " << i;
+      EXPECT_EQ(actual.agents[i].utility, expected.agents[i].utility)
+          << c.name << " agent " << i;
+    }
+  }
+}
+
+TEST(Sync, QuiescentRoundsReuseEveryCache) {
+  const std::size_t n = 12;
+  const auto types = band_types(n, 53);
+  const lbmv::core::CompBonusMechanism mechanism;
+  const lbmv::model::SystemConfig config(types, 20.0);
+  DeltaRoundEngine engine(mechanism, config.family_ptr(), 20.0, types, types);
+  (void)engine.outcome();
+  const std::size_t rebuild_mark = engine.deltas_since_rebuild();
+
+  // Unchanged planes: zero deltas applied, no cache invalidated.
+  EXPECT_EQ(engine.sync(types, types), 0u);
+  EXPECT_EQ(engine.deltas_since_rebuild(), rebuild_mark);
+
+  // Two changed entries: exactly two deltas, as one delta round.
+  auto moved = types;
+  moved[2] *= 1.2;
+  moved[9] *= 0.85;
+  EXPECT_EQ(engine.sync(moved, types), 2u);
+  EXPECT_EQ(engine.bids()[2], moved[2]);
+  EXPECT_EQ(engine.bids()[9], moved[9]);
+}
+
+TEST(Errors, DiagnosticsArePreservedBitForBit) {
+  const auto types = band_types(8, 59);
+  const lbmv::core::CompBonusMechanism mechanism;
+  const lbmv::model::SystemConfig config(types, 20.0);
+  const auto family = config.family_ptr();
+
+  // LBMV_REQUIRE decorates what() with the failed expression and source
+  // location; the diagnostic text itself must survive verbatim.
+  const auto expect_throw = [](auto&& fn, const std::string& message) {
+    try {
+      fn();
+      FAIL() << "expected PreconditionError: " << message;
+    } catch (const PreconditionError& e) {
+      EXPECT_NE(std::string(e.what()).find(message), std::string::npos)
+          << e.what();
+    }
+  };
+
+  expect_throw(
+      [&] {
+        DeltaRoundEngine engine(mechanism, family, 20.0,
+                                std::vector<double>{1.0},
+                                std::vector<double>{1.0});
+      },
+      "mechanisms require at least two agents");
+  expect_throw(
+      [&] {
+        DeltaRoundEngine engine(mechanism, family, 20.0, types,
+                                std::vector<double>{1.0, 2.0});
+      },
+      "execution vector size mismatch");
+  expect_throw(
+      [&] { DeltaRoundEngine engine(mechanism, family, 0.0, types, types); },
+      "arrival rate must be positive");
+  expect_throw(
+      [&] {
+        auto bad = types;
+        bad[3] = -1.0;
+        DeltaRoundEngine engine(mechanism, family, 20.0, bad, types);
+      },
+      "bids must be positive");
+
+  DeltaRoundEngine engine(mechanism, family, 20.0, types, types);
+  expect_throw([&] { engine.apply(99, 1.0, 1.0); }, "agent index out of range");
+  expect_throw([&] { engine.apply(0, 0.0, 1.0); }, "bids must be positive");
+  expect_throw([&] { engine.apply(0, 1.0, -2.0); },
+               "execution values must be positive");
+  expect_throw([&] { engine.remove_agent(99); }, "agent index out of range");
+
+  // The infeasible M/M/1 round must re-raise the allocator's own typed
+  // error through the O(1) scalars path, not a homegrown variant.
+  const auto mm1 = std::make_shared<const lbmv::model::MM1Family>();
+  const lbmv::core::CompBonusMechanism mm1_mechanism(
+      std::make_shared<const lbmv::alloc::MM1Allocator>());
+  double sum_mu = 0.0;
+  for (double t : types) sum_mu += 1.0 / t;
+  DeltaRoundEngine saturated(mm1_mechanism, mm1, 0.5 * sum_mu, types, types);
+  // Push every bid up until the committed capacity can no longer carry R.
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    saturated.apply(i, types[i] * 20.0, types[i] * 20.0);
+  }
+  EXPECT_THROW((void)saturated.scalars(), PreconditionError);
+}
+
+TEST(CommitBatch, MatchesSequentialCommitsBitForBit) {
+  const std::size_t n = 20;
+  for (const Case& c : all_cases(n, 61)) {
+    const auto types = band_types(n, 61);
+    const lbmv::model::SystemConfig config(types, c.arrival_rate, c.family);
+    lbmv::strategy::DeviationEvaluator sequential(*c.mechanism, config);
+    lbmv::strategy::DeviationEvaluator batched(*c.mechanism, config);
+
+    lbmv::util::Rng rng(67);
+    for (int round = 0; round < 5; ++round) {
+      std::vector<BidDelta> deltas;
+      for (std::size_t i = 0; i < n; i += 3) {
+        const double bid = types[i] * (0.8 + 0.4 * rng.uniform());
+        deltas.push_back({i, bid, bid * (1.0 + 0.05 * rng.uniform())});
+      }
+      for (const BidDelta& d : deltas) {
+        sequential.commit(d.agent, d.bid, d.execution);
+      }
+      batched.commit_batch(deltas);
+
+      MechanismOutcome a;
+      MechanismOutcome b;
+      sequential.outcome_into(a);
+      batched.outcome_into(b);
+      ASSERT_EQ(a.agents.size(), b.agents.size()) << c.name;
+      EXPECT_EQ(a.actual_latency, b.actual_latency) << c.name;
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(a.agents[i].allocation, b.agents[i].allocation) << c.name;
+        EXPECT_EQ(a.agents[i].payment, b.agents[i].payment) << c.name;
+        EXPECT_EQ(a.agents[i].utility, b.agents[i].utility) << c.name;
+      }
+    }
+  }
+}
+
+TEST(Epochs, TrajectoryIsBitIdenticalToTheFullRoundPath) {
+  const lbmv::core::CompBonusMechanism mechanism;
+  const lbmv::model::SystemConfig config(band_types(10, 71), 20.0);
+  lbmv::sim::EpochOptions options;
+  options.epochs = 40;
+  options.bid_lags = {0, 1, 2, 0, 3, 0, 1, 0, 2, 0};
+
+  const lbmv::sim::EpochReport report =
+      lbmv::sim::run_epochs(mechanism, config, options);
+  ASSERT_EQ(report.records.size(), 40u);
+
+  // Replay every epoch through the full-round path: bids are the lagged
+  // true values (initial values before epoch 0), executions the current
+  // ones — exactly what the engine-backed loop committed.
+  lbmv::core::RoundWorkspace ws;
+  for (std::size_t e = 0; e < report.records.size(); ++e) {
+    lbmv::model::BidProfile profile;
+    const std::size_t n = config.size();
+    profile.bids.resize(n);
+    profile.executions.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto lag = static_cast<std::size_t>(options.bid_lags[i]);
+      profile.bids[i] = e >= lag
+                            ? report.records[e - lag].true_values[i]
+                            : config.true_values()[i];
+      profile.executions[i] = report.records[e].true_values[i];
+    }
+    const lbmv::model::SystemConfig epoch_config(
+        report.records[e].true_values, config.arrival_rate(),
+        config.family_ptr());
+    MechanismOutcome expected;
+    mechanism.run_into(epoch_config, profile, expected, ws);
+    const MechanismOutcome& actual = report.records[e].outcome;
+    EXPECT_EQ(actual.actual_latency, expected.actual_latency) << "epoch " << e;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(actual.agents[i].utility, expected.agents[i].utility)
+          << "epoch " << e << " agent " << i;
+      EXPECT_EQ(actual.agents[i].payment, expected.agents[i].payment)
+          << "epoch " << e << " agent " << i;
+    }
+  }
+}
+
+TEST(Epochs, ReplicatedRunsAreThreadCountInvariant) {
+  const lbmv::core::CompBonusMechanism mechanism;
+  const lbmv::model::SystemConfig config(band_types(8, 73), 20.0);
+  lbmv::sim::EpochOptions options;
+  options.epochs = 15;
+
+  lbmv::sim::ReplicationOptions replication;
+  replication.replications = 6;
+  const auto run_with = [&](std::size_t threads) {
+    lbmv::util::ThreadPool pool(threads);
+    lbmv::sim::ReplicationOptions opts = replication;
+    opts.pool = &pool;
+    return lbmv::sim::run_epochs_replicated(mechanism, config, options, opts);
+  };
+  const auto one = run_with(1);
+  const auto two = run_with(2);
+  const auto eight = run_with(8);
+  ASSERT_EQ(one.runs.size(), 6u);
+  for (std::size_t r = 0; r < one.runs.size(); ++r) {
+    EXPECT_EQ(one.runs[r].mean_efficiency, two.runs[r].mean_efficiency);
+    EXPECT_EQ(one.runs[r].mean_efficiency, eight.runs[r].mean_efficiency);
+    for (std::size_t e = 0; e < one.runs[r].records.size(); ++e) {
+      EXPECT_EQ(one.runs[r].records[e].outcome.actual_latency,
+                eight.runs[r].records[e].outcome.actual_latency);
+    }
+  }
+}
+
+TEST(Learning, TrajectoriesAreThreadCountInvariant) {
+  const lbmv::core::CompBonusMechanism mechanism;
+  const lbmv::model::SystemConfig config(band_types(6, 79), 12.0);
+  lbmv::strategy::LearningOptions options;
+  options.rounds = 40;
+
+  const auto run_with = [&](std::size_t threads) {
+    lbmv::util::ThreadPool pool(threads);
+    return lbmv::strategy::run_learning_replicated(mechanism, config, options,
+                                                   4, &pool, 1);
+  };
+  const auto one = run_with(1);
+  const auto two = run_with(2);
+  const auto eight = run_with(8);
+  ASSERT_EQ(one.replications.size(), 4u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    ASSERT_EQ(one.replications[r].latency_trace.size(),
+              eight.replications[r].latency_trace.size());
+    for (std::size_t t = 0; t < one.replications[r].latency_trace.size();
+         ++t) {
+      EXPECT_EQ(one.replications[r].latency_trace[t],
+                two.replications[r].latency_trace[t]);
+      EXPECT_EQ(one.replications[r].latency_trace[t],
+                eight.replications[r].latency_trace[t]);
+    }
+    EXPECT_EQ(one.replications[r].final_greedy_latency,
+              eight.replications[r].final_greedy_latency);
+  }
+}
+
+TEST(Protocol, SharedEngineDoubleRoundMatchesTwoFullRounds) {
+  const lbmv::core::CompBonusMechanism mechanism;
+  const lbmv::model::SystemConfig config(band_types(5, 83), 8.0);
+  lbmv::sim::ProtocolOptions options;
+  options.horizon = 300.0;
+  options.warmup_fraction = 0.0;
+  const lbmv::sim::VerifiedProtocol protocol(mechanism, options);
+  const auto intents = lbmv::model::BidProfile::truthful(config);
+  const lbmv::sim::RoundReport report = protocol.run_round(config, intents);
+
+  // Reconstruct the verified profile the protocol built from its execution
+  // estimates and re-run both payment rounds through the full path.
+  auto verified = intents;
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    verified.executions[i] = report.estimated_execution[i];
+  }
+  lbmv::core::RoundWorkspace ws;
+  MechanismOutcome expected_verified;
+  MechanismOutcome expected_oracle;
+  mechanism.run_into(config, verified, expected_verified, ws);
+  mechanism.run_into(config, intents, expected_oracle, ws);
+  EXPECT_EQ(report.outcome.actual_latency, expected_verified.actual_latency);
+  EXPECT_EQ(report.oracle_outcome.actual_latency,
+            expected_oracle.actual_latency);
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    EXPECT_EQ(report.outcome.agents[i].payment,
+              expected_verified.agents[i].payment);
+    EXPECT_EQ(report.oracle_outcome.agents[i].payment,
+              expected_oracle.agents[i].payment);
+  }
+}
+
+}  // namespace
